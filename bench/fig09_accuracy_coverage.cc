@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Fig. 9: off-chip prediction accuracy and coverage of POPET vs HMP vs
+ * TTP on the Pythia baseline (predictor-only mode: predictions are
+ * observed and trained but no Hermes requests are issued).
+ *
+ * Paper shape: POPET 77.1% accuracy / 74.3% coverage; HMP 47% / 22.3%;
+ * TTP 16.6% / 94.8% (highest coverage, lowest accuracy).
+ */
+
+#include <cstdio>
+
+#include "harness/harness.hh"
+
+using namespace hermes;
+using namespace hermes::bench;
+
+int
+main()
+{
+    const SimBudget b = budget(120'000, 300'000);
+
+    Table t({"predictor", "category", "accuracy", "coverage"});
+    for (auto pk : {PredictorKind::Hmp, PredictorKind::Ttp,
+                    PredictorKind::Popet}) {
+        const auto rs =
+            runSuite(withPredictorOnly(cfgBaseline(), pk), b);
+        std::map<std::string, PredictorStats> agg;
+        PredictorStats all;
+        for (const auto &r : rs) {
+            const PredictorStats p = r.stats.predTotal();
+            auto &a = agg[r.category];
+            a.truePositives += p.truePositives;
+            a.falsePositives += p.falsePositives;
+            a.falseNegatives += p.falseNegatives;
+            a.trueNegatives += p.trueNegatives;
+            all.truePositives += p.truePositives;
+            all.falsePositives += p.falsePositives;
+            all.falseNegatives += p.falseNegatives;
+            all.trueNegatives += p.trueNegatives;
+        }
+        for (const auto &[cat, p] : agg)
+            t.addRow({predictorKindName(pk), cat,
+                      Table::pct(p.accuracy()), Table::pct(p.coverage())});
+        t.addRow({predictorKindName(pk), "AVG", Table::pct(all.accuracy()),
+                  Table::pct(all.coverage())});
+    }
+    t.print("Fig. 9: accuracy and coverage of HMP / TTP / POPET");
+    std::printf("\npaper: POPET 77.1/74.3, HMP 47.0/22.3, TTP 16.6/94.8\n");
+    return 0;
+}

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Fig. 12: single-core speedups of Hermes-P, Hermes-O, Pythia,
+ * Pythia + Hermes-P and Pythia + Hermes-O over the no-prefetching
+ * system, per workload category.
+ *
+ * Paper shape (geomean): Hermes-P 1.09, Hermes-O 1.12, Pythia 1.20,
+ * Pythia+Hermes-P 1.25, Pythia+Hermes-O 1.26; Hermes alone captures
+ * roughly half of Pythia's gain at 1/5 the storage.
+ */
+
+#include <cstdio>
+
+#include "harness/harness.hh"
+
+using namespace hermes;
+using namespace hermes::bench;
+
+int
+main()
+{
+    const SimBudget b = budget(120'000, 300'000);
+    const auto nopf = runSuite(cfgNoPrefetch(), b);
+
+    struct Cfg
+    {
+        const char *name;
+        SystemConfig cfg;
+    };
+    const Cfg cfgs[] = {
+        {"Hermes-P", withHermes(cfgNoPrefetch(), PredictorKind::Popet, 18)},
+        {"Hermes-O", withHermes(cfgNoPrefetch(), PredictorKind::Popet, 6)},
+        {"Pythia (baseline)", cfgBaseline()},
+        {"Pythia+Hermes-P",
+         withHermes(cfgBaseline(), PredictorKind::Popet, 18)},
+        {"Pythia+Hermes-O",
+         withHermes(cfgBaseline(), PredictorKind::Popet, 6)},
+    };
+
+    Table t({"config", "SPEC06", "SPEC17", "PARSEC", "Ligra", "CVP",
+             "GEOMEAN"});
+    double pythia_all = 1.0, hermes_o_all = 1.0;
+    for (const auto &c : cfgs) {
+        const auto rs = runSuite(c.cfg, b);
+        const auto by_cat = speedupByCategory(rs, nopf);
+        auto cell = [&](const char *k) {
+            auto it = by_cat.find(k);
+            return it == by_cat.end() ? std::string("-")
+                                      : Table::fmt(it->second);
+        };
+        t.addRow({c.name, cell("SPEC06"), cell("SPEC17"), cell("PARSEC"),
+                  cell("Ligra"), cell("CVP"), cell("ALL")});
+        if (std::string(c.name) == "Pythia (baseline)")
+            pythia_all = by_cat.at("ALL");
+        if (std::string(c.name) == "Pythia+Hermes-O")
+            hermes_o_all = by_cat.at("ALL");
+    }
+    t.print("Fig. 12: single-core speedup over the no-prefetching system");
+    std::printf("\nPythia+Hermes-O over Pythia: %+.1f%% (paper: +5.4%%)\n",
+                100.0 * (hermes_o_all / pythia_all - 1.0));
+    return 0;
+}

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Fig. 14: Hermes on top of Pythia with the three real off-chip
+ * predictors (HMP, TTP, POPET) and the oracle (Ideal Hermes).
+ *
+ * Paper shape (geomean over no-pf): Pythia 1.203, +Hermes-HMP 1.211,
+ * +Hermes-TTP 1.220, +Hermes-POPET 1.257, +Ideal 1.286 — POPET
+ * captures ~90% of the oracle's benefit.
+ */
+
+#include <cstdio>
+
+#include "harness/harness.hh"
+
+using namespace hermes;
+using namespace hermes::bench;
+
+int
+main()
+{
+    const SimBudget b = budget(120'000, 300'000);
+    const auto nopf = runSuite(cfgNoPrefetch(), b);
+    const auto pyth = runSuite(cfgBaseline(), b);
+
+    Table t({"config", "geomean speedup vs no-pf", "vs Pythia"});
+    const double base = geomeanSpeedup(pyth, nopf);
+    t.addRow({"Pythia (baseline)", Table::fmt(base), "-"});
+    double popet_gain = 0, ideal_gain = 0;
+    for (auto pk : {PredictorKind::Hmp, PredictorKind::Ttp,
+                    PredictorKind::Popet, PredictorKind::Ideal}) {
+        const auto rs = runSuite(withHermes(cfgBaseline(), pk, 6), b);
+        const double s = geomeanSpeedup(rs, nopf);
+        t.addRow({std::string("Pythia+Hermes-") + predictorKindName(pk),
+                  Table::fmt(s), Table::pct(s / base - 1.0)});
+        if (pk == PredictorKind::Popet)
+            popet_gain = s / base - 1.0;
+        if (pk == PredictorKind::Ideal)
+            ideal_gain = s / base - 1.0;
+    }
+    t.print("Fig. 14: effect of the off-chip prediction mechanism");
+    if (ideal_gain > 0)
+        std::printf("\nPOPET captures %.0f%% of the Ideal Hermes benefit "
+                    "(paper: ~90%%)\n",
+                    100.0 * popet_gain / ideal_gain);
+    return 0;
+}

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Fig. 17 (activation threshold): POPET accuracy/coverage and Hermes
+ * speedup as tau_act sweeps from -38 to 2.
+ *
+ * Paper shape: accuracy rises and coverage falls with tau_act; the
+ * speedup peaks slightly below the chosen operating point (-18), which
+ * balances accuracy (bandwidth) against coverage.
+ */
+
+#include <cstdio>
+
+#include "harness/harness.hh"
+
+using namespace hermes;
+using namespace hermes::bench;
+
+int
+main()
+{
+    const SimBudget b = budget(100'000, 250'000);
+    const auto nopf = runSuite(cfgNoPrefetch(), b);
+
+    Table t({"tau_act", "accuracy", "coverage", "speedup vs no-pf"});
+    for (int tau = -38; tau <= 2; tau += 4) {
+        SystemConfig cfg = withHermes(cfgBaseline(), PredictorKind::Popet,
+                                      6);
+        cfg.popet.activationThreshold = tau;
+        const auto rs = runSuite(cfg, b);
+        PredictorStats all;
+        for (const auto &r : rs) {
+            const PredictorStats p = r.stats.predTotal();
+            all.truePositives += p.truePositives;
+            all.falsePositives += p.falsePositives;
+            all.falseNegatives += p.falseNegatives;
+            all.trueNegatives += p.trueNegatives;
+        }
+        t.addRow({std::to_string(tau), Table::pct(all.accuracy()),
+                  Table::pct(all.coverage()),
+                  Table::fmt(geomeanSpeedup(rs, nopf))});
+    }
+    t.print("Fig. 17e: activation threshold sweep");
+    return 0;
+}

@@ -1,0 +1,195 @@
+#include "harness/harness.hh"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/stats.hh"
+
+namespace hermes::bench
+{
+
+std::vector<TraceSpec>
+suite()
+{
+    const char *env = std::getenv("HERMES_BENCH_SUITE");
+    if (env != nullptr && std::strcmp(env, "full") == 0)
+        return fullSuite();
+    return quickSuite();
+}
+
+SimBudget
+budget(std::uint64_t warmup, std::uint64_t sim)
+{
+    return SimBudget::fromEnv(warmup, sim);
+}
+
+SystemConfig
+cfgNoPrefetch()
+{
+    SystemConfig cfg = SystemConfig::baseline(1);
+    cfg.prefetcher = PrefetcherKind::None;
+    return cfg;
+}
+
+SystemConfig
+cfgPrefetcher(PrefetcherKind pf)
+{
+    SystemConfig cfg = SystemConfig::baseline(1);
+    cfg.prefetcher = pf;
+    return cfg;
+}
+
+SystemConfig
+cfgBaseline()
+{
+    return cfgPrefetcher(PrefetcherKind::Pythia);
+}
+
+SystemConfig
+withHermes(SystemConfig cfg, PredictorKind pred, Cycle issue_latency)
+{
+    cfg.predictor = pred;
+    cfg.hermesIssueEnabled = true;
+    cfg.hermesIssueLatency = issue_latency;
+    return cfg;
+}
+
+SystemConfig
+withPredictorOnly(SystemConfig cfg, PredictorKind pred)
+{
+    cfg.predictor = pred;
+    cfg.hermesIssueEnabled = false;
+    return cfg;
+}
+
+std::vector<TraceResult>
+runSuite(const SystemConfig &cfg, const SimBudget &b)
+{
+    std::vector<TraceResult> out;
+    for (const auto &spec : suite()) {
+        TraceResult r;
+        r.trace = spec.name();
+        r.category = spec.category();
+        r.stats = simulateOne(cfg, spec, b);
+        out.push_back(std::move(r));
+    }
+    return out;
+}
+
+double
+geomeanSpeedup(const std::vector<TraceResult> &test,
+               const std::vector<TraceResult> &base)
+{
+    std::vector<double> ratios;
+    for (std::size_t i = 0; i < test.size() && i < base.size(); ++i) {
+        const double t = test[i].stats.ipc(0);
+        const double b = base[i].stats.ipc(0);
+        if (t > 0 && b > 0)
+            ratios.push_back(t / b);
+    }
+    return geomean(ratios);
+}
+
+std::map<std::string, double>
+speedupByCategory(const std::vector<TraceResult> &test,
+                  const std::vector<TraceResult> &base)
+{
+    std::map<std::string, std::vector<double>> per_cat;
+    std::vector<double> all;
+    for (std::size_t i = 0; i < test.size() && i < base.size(); ++i) {
+        const double t = test[i].stats.ipc(0);
+        const double b = base[i].stats.ipc(0);
+        if (t > 0 && b > 0) {
+            per_cat[test[i].category].push_back(t / b);
+            all.push_back(t / b);
+        }
+    }
+    std::map<std::string, double> out;
+    for (auto &[cat, v] : per_cat)
+        out[cat] = geomean(v);
+    out["ALL"] = geomean(all);
+    return out;
+}
+
+std::map<std::string, double>
+meanByCategory(const std::vector<TraceResult> &rs,
+               double (*metric)(const TraceResult &))
+{
+    std::map<std::string, std::vector<double>> per_cat;
+    std::vector<double> all;
+    for (const auto &r : rs) {
+        const double v = metric(r);
+        per_cat[r.category].push_back(v);
+        all.push_back(v);
+    }
+    std::map<std::string, double> out;
+    for (auto &[cat, v] : per_cat)
+        out[cat] = mean(v);
+    out["ALL"] = mean(all);
+    return out;
+}
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+Table::fmt(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+}
+
+std::string
+Table::pct(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f%%", precision, v * 100.0);
+    return buf;
+}
+
+void
+Table::print(const std::string &title) const
+{
+    std::printf("\n== %s ==\n", title.c_str());
+    std::vector<std::size_t> width(headers_.size(), 0);
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        width[c] = headers_[c].size();
+    for (const auto &row : rows_)
+        for (std::size_t c = 0; c < row.size() && c < width.size(); ++c)
+            width[c] = std::max(width[c], row[c].size());
+
+    auto print_row = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size() && c < width.size(); ++c)
+            std::printf("%-*s  ", static_cast<int>(width[c]),
+                        row[c].c_str());
+        std::printf("\n");
+    };
+    print_row(headers_);
+    for (const auto &row : rows_)
+        print_row(row);
+
+    // CSV block for scripted consumption.
+    std::printf("csv,");
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        std::printf("%s%s", headers_[c].c_str(),
+                    c + 1 < headers_.size() ? "," : "\n");
+    for (const auto &row : rows_) {
+        std::printf("csv,");
+        for (std::size_t c = 0; c < row.size(); ++c)
+            std::printf("%s%s", row[c].c_str(),
+                        c + 1 < row.size() ? "," : "\n");
+    }
+}
+
+} // namespace hermes::bench

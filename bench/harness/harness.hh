@@ -1,0 +1,89 @@
+#pragma once
+
+/**
+ * @file
+ * Shared benchmark harness: named system configurations matching the
+ * paper's evaluated mechanisms (§7.2), suite runners with per-category
+ * aggregation, speedup helpers and table printing. Every figure/table
+ * bench binary is a thin driver over these helpers.
+ *
+ * Environment knobs:
+ *  - HERMES_SIM_SCALE: scales instruction budgets (default 1.0);
+ *  - HERMES_BENCH_SUITE=quick|full: trace list (default quick, so the
+ *    whole bench directory finishes in minutes on a laptop).
+ */
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/power.hh"
+#include "sim/simulator.hh"
+#include "sim/system.hh"
+#include "trace/suite.hh"
+
+namespace hermes::bench
+{
+
+/** The trace list selected by HERMES_BENCH_SUITE. */
+std::vector<TraceSpec> suite();
+
+/** Simulation budget honouring HERMES_SIM_SCALE. */
+SimBudget budget(std::uint64_t warmup = 60'000,
+                 std::uint64_t sim = 250'000);
+
+/** Named baseline configurations (single core unless stated). */
+SystemConfig cfgNoPrefetch();
+SystemConfig cfgPrefetcher(PrefetcherKind pf);
+/** Pythia baseline (the paper's Table 4 system). */
+SystemConfig cfgBaseline();
+/** Add Hermes with the given predictor to a config. */
+SystemConfig withHermes(SystemConfig cfg, PredictorKind pred,
+                        Cycle issue_latency = 6);
+/** Predictor observing loads but never issuing requests. */
+SystemConfig withPredictorOnly(SystemConfig cfg, PredictorKind pred);
+
+/** A run result labelled by trace. */
+struct TraceResult
+{
+    std::string trace;
+    std::string category;
+    RunStats stats;
+};
+
+/** Run a config over the whole suite (single-core). */
+std::vector<TraceResult> runSuite(const SystemConfig &cfg,
+                                  const SimBudget &b);
+
+/** Geomean over per-trace ratios vs a baseline run of the same suite. */
+double geomeanSpeedup(const std::vector<TraceResult> &test,
+                      const std::vector<TraceResult> &base);
+
+/** Per-category geomean speedups (keyed by category, plus "ALL"). */
+std::map<std::string, double>
+speedupByCategory(const std::vector<TraceResult> &test,
+                  const std::vector<TraceResult> &base);
+
+/** Per-category arithmetic mean of a per-trace metric. */
+std::map<std::string, double>
+meanByCategory(const std::vector<TraceResult> &rs,
+               double (*metric)(const TraceResult &));
+
+/** Simple aligned table printer (also emits a CSV block). */
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> headers);
+    void addRow(std::vector<std::string> cells);
+    void print(const std::string &title) const;
+
+    static std::string fmt(double v, int precision = 3);
+    static std::string pct(double v, int precision = 1);
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace hermes::bench

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Microbenchmarks (google-benchmark) for the hot simulator operations:
+ * POPET predict/train, cache lookups, DRAM scheduling and synthetic
+ * trace generation. These guard against performance regressions in the
+ * structures every experiment exercises millions of times.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "cache/cache.hh"
+#include "common/rng.hh"
+#include "dram/dram.hh"
+#include "predictor/hmp.hh"
+#include "predictor/popet.hh"
+#include "predictor/ttp.hh"
+#include "trace/suite.hh"
+
+using namespace hermes;
+
+namespace
+{
+
+void
+BM_PopetPredict(benchmark::State &state)
+{
+    Popet popet;
+    Rng rng(1);
+    PredMeta meta;
+    for (auto _ : state) {
+        const Addr pc = 0x400000 + (rng.next() & 0xFF) * 4;
+        const Addr va = rng.next() & ((1ull << 34) - 1);
+        benchmark::DoNotOptimize(popet.predict(pc, va, meta));
+        popet.train(pc, va, meta, rng.chance(0.1));
+    }
+}
+BENCHMARK(BM_PopetPredict);
+
+void
+BM_HmpPredict(benchmark::State &state)
+{
+    Hmp hmp;
+    Rng rng(2);
+    PredMeta meta;
+    for (auto _ : state) {
+        const Addr pc = 0x400000 + (rng.next() & 0xFF) * 4;
+        const Addr va = rng.next() & ((1ull << 34) - 1);
+        benchmark::DoNotOptimize(hmp.predict(pc, va, meta));
+        hmp.train(pc, va, meta, rng.chance(0.1));
+    }
+}
+BENCHMARK(BM_HmpPredict);
+
+void
+BM_TtpPredictAndTrack(benchmark::State &state)
+{
+    Ttp ttp;
+    Rng rng(3);
+    PredMeta meta;
+    for (auto _ : state) {
+        const Addr va = rng.next() & ((1ull << 34) - 1);
+        benchmark::DoNotOptimize(ttp.predict(0x400000, va, meta));
+        ttp.onFillFromDram(lineAddr(va));
+    }
+}
+BENCHMARK(BM_TtpPredictAndTrack);
+
+void
+BM_CacheLookupHit(benchmark::State &state)
+{
+    CacheParams p;
+    p.sets = 64;
+    p.ways = 12;
+    p.latency = 1;
+    Cache cache(p);
+    // Warm one set's worth of lines via the write path.
+    Cycle now = 0;
+    for (unsigned i = 0; i < 12; ++i) {
+        MemRequest wr;
+        wr.address = i * 64 * 64;
+        wr.type = AccessType::Writeback;
+        cache.addWrite(wr);
+        for (int t = 0; t < 4; ++t)
+            cache.tick(++now);
+    }
+    std::uint64_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(cache.probe((i++ % 12) * 64));
+    }
+}
+BENCHMARK(BM_CacheLookupHit);
+
+void
+BM_DramRandomReads(benchmark::State &state)
+{
+    DramParams p;
+    DramController dram(p);
+    Rng rng(4);
+    Cycle now = 0;
+    for (auto _ : state) {
+        MemRequest rd;
+        rd.address = (rng.next() & 0xFFFFFF) << 6;
+        rd.type = AccessType::Load;
+        dram.addRead(rd);
+        dram.tick(++now);
+    }
+}
+BENCHMARK(BM_DramRandomReads);
+
+void
+BM_TraceGeneration(benchmark::State &state)
+{
+    auto wl = findTrace("ligra.pagerank_like.0").make();
+    for (auto _ : state)
+        benchmark::DoNotOptimize(wl->next());
+}
+BENCHMARK(BM_TraceGeneration);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Table 3: storage budget of Hermes (POPET weight tables + page buffer
+ * + per-LQ-entry metadata). Paper total: 4.0 KB per core.
+ */
+
+#include <cstdio>
+
+#include "harness/harness.hh"
+#include "predictor/popet.hh"
+
+using namespace hermes;
+using namespace hermes::bench;
+
+int
+main()
+{
+    Popet popet;
+
+    Table t({"structure", "size (KB)"});
+    double popet_kb = 0;
+    static const char *names[] = {
+        "PC^cacheline offset (1024 x 5b)",
+        "PC^byte offset (1024 x 5b)",
+        "PC+first access (1024 x 5b)",
+        "cacheline offset+first access (128 x 5b)",
+        "last-4 load PCs (1024 x 5b)",
+    };
+    for (unsigned f = 0; f < kPopetFeatureCount; ++f) {
+        const double kb = Popet::kTableSizes[f] * 5 / 8.0 / 1024.0;
+        t.addRow({names[f], Table::fmt(kb, 3)});
+        popet_kb += kb;
+    }
+    const double page_buffer_kb = 64 * 80 / 8.0 / 1024.0;
+    t.addRow({"page buffer (64 x 80b)", Table::fmt(page_buffer_kb, 3)});
+    popet_kb += page_buffer_kb;
+    t.addRow({"POPET total", Table::fmt(popet_kb, 3)});
+
+    // LQ metadata (Table 3): hashed PC 128x32b, last-4 PC 128x10b,
+    // first access 128x1b, perceptron weight 128x5b, prediction 128x1b.
+    const double lq_kb = 128.0 * (32 + 10 + 1 + 5 + 1) / 8.0 / 1024.0;
+    t.addRow({"LQ metadata (128 entries)", Table::fmt(lq_kb, 3)});
+    t.addRow({"Hermes total", Table::fmt(popet_kb + lq_kb, 3)});
+    t.print("Table 3: Hermes storage overhead (paper: 4.0 KB)");
+
+    std::printf("\nmodelled POPET storageBits() = %.2f KB\n",
+                popet.storageBits() / 8.0 / 1024.0);
+    return 0;
+}

@@ -1,0 +1,22 @@
+#include <cstdio>
+#include "sim/simulator.hh"
+#include "sim/system.hh"
+using namespace hermes;
+int main() {
+    SimBudget b; b.warmupInstrs=60000; b.simInstrs=250000;
+    for (const auto& spec : quickSuite()) {
+        SystemConfig nopf = SystemConfig::baseline(1);
+        SystemConfig pyt = nopf; pyt.prefetcher = PrefetcherKind::Pythia;
+        SystemConfig pyh = pyt; pyh.predictor=PredictorKind::Popet; pyh.hermesIssueEnabled=true;
+        auto r0 = simulateOne(nopf, spec, b);
+        auto r1 = simulateOne(pyt, spec, b);
+        auto r2 = simulateOne(pyh, spec, b);
+        auto p = r2.predTotal();
+        std::printf("%-30s ipc %5.3f/%5.3f/%5.3f mpki %5.1f/%5.1f pyth+%5.1f%% herm+%5.1f%% acc %4.1f cov %4.1f\n",
+            spec.name().c_str(), r0.ipc(0), r1.ipc(0), r2.ipc(0),
+            r0.llcMpki(), r1.llcMpki(),
+            100.0*(r1.ipc(0)/r0.ipc(0)-1), 100.0*(r2.ipc(0)/r1.ipc(0)-1),
+            100*p.accuracy(), 100*p.coverage());
+    }
+    return 0;
+}

@@ -1,0 +1,423 @@
+#include "cache/cache.hh"
+
+#include <cassert>
+
+namespace hermes
+{
+
+Cache::Cache(CacheParams params)
+    : params_(std::move(params)),
+      repl_(makeReplacement(params_.repl, params_.sets, params_.ways)),
+      lines_(static_cast<std::size_t>(params_.sets) * params_.ways),
+      mshrs_(params_.mshrs)
+{
+    assert((params_.sets & (params_.sets - 1)) == 0 &&
+           "set count must be a power of two");
+}
+
+void
+Cache::setUpper(int core_id, MemClient *upper)
+{
+    if (uppers_.size() <= static_cast<std::size_t>(core_id))
+        uppers_.resize(core_id + 1, nullptr);
+    uppers_[core_id] = upper;
+}
+
+Cache::Line &
+Cache::lineAt(std::uint32_t set, std::uint32_t way)
+{
+    return lines_[static_cast<std::size_t>(set) * params_.ways + way];
+}
+
+const Cache::Line &
+Cache::lineAt(std::uint32_t set, std::uint32_t way) const
+{
+    return lines_[static_cast<std::size_t>(set) * params_.ways + way];
+}
+
+std::uint32_t
+Cache::setIndex(Addr line) const
+{
+    return static_cast<std::uint32_t>(line & (params_.sets - 1));
+}
+
+std::uint32_t
+Cache::findWay(std::uint32_t set, Addr line) const
+{
+    for (std::uint32_t w = 0; w < params_.ways; ++w) {
+        const Line &l = lineAt(set, w);
+        if (l.valid && l.line == line)
+            return w;
+    }
+    return params_.ways;
+}
+
+Cache::Mshr *
+Cache::findMshr(Addr line)
+{
+    if (usedMshrs_ == 0)
+        return nullptr;
+    for (auto &m : mshrs_)
+        if (m.valid && m.line == line)
+            return &m;
+    return nullptr;
+}
+
+Cache::Mshr *
+Cache::allocMshr()
+{
+    if (usedMshrs_ >= params_.mshrs)
+        return nullptr;
+    for (auto &m : mshrs_)
+        if (!m.valid)
+            return &m;
+    return nullptr;
+}
+
+unsigned
+Cache::freeMshrCount() const
+{
+    return params_.mshrs - usedMshrs_;
+}
+
+bool
+Cache::addRead(const MemRequest &req)
+{
+    if (rq_.size() >= params_.rqSize) {
+        ++stats_.rqRejects;
+        return false;
+    }
+    rq_.push_back(QueueEntry{req, now_ + params_.latency});
+    return true;
+}
+
+bool
+Cache::addWrite(const MemRequest &req)
+{
+    // Soft-bounded: writes are always accepted (see file comment).
+    wq_.push_back(QueueEntry{req, now_ + params_.latency});
+    return true;
+}
+
+void
+Cache::tick(Cycle now)
+{
+    now_ = now;
+    retryUnsentMshrs();
+    processWrites(now);
+    processReads(now);
+    processPrefetches(now);
+}
+
+void
+Cache::retryUnsentMshrs()
+{
+    if (unsentMshrs_ == 0)
+        return;
+    for (auto &m : mshrs_) {
+        if (m.valid && !m.sentToLower && lower_ != nullptr &&
+            lower_->addRead(m.fetchReq)) {
+            m.sentToLower = true;
+            --unsentMshrs_;
+        }
+    }
+}
+
+void
+Cache::processWrites(Cycle now)
+{
+    for (std::uint32_t budget = params_.lookupsPerCycle;
+         budget > 0 && !wq_.empty() && wq_.front().readyAt <= now;
+         --budget) {
+        const MemRequest req = wq_.front().req;
+        wq_.pop_front();
+        ++stats_.writebackLookups;
+        const std::uint32_t set = setIndex(req.line());
+        const std::uint32_t way = findWay(set, req.line());
+        if (way < params_.ways) {
+            ++stats_.writebackHits;
+            lineAt(set, way).dirty = true;
+            repl_->onHit(set, way, req.pc, req.type);
+            continue;
+        }
+        if (req.type == AccessType::Writeback) {
+            // Dirty eviction from the level above: install the line
+            // here directly (no fetch), standard ChampSim behaviour.
+            installLine(req.line(), req.pc, req.type, true, false);
+            continue;
+        }
+        // Store (RFO) miss: write-allocate by fetching the line.
+        if (Mshr *m = findMshr(req.line())) {
+            m->fillDirty = true;
+            ++stats_.mshrMerges;
+            continue;
+        }
+        Mshr *m = allocMshr();
+        if (m == nullptr) {
+            // No MSHR: retry next cycle.
+            wq_.push_front(QueueEntry{req, now});
+            break;
+        }
+        *m = Mshr{};
+        m->valid = true;
+        ++usedMshrs_;
+        m->line = req.line();
+        m->fetchReq = req;
+        m->fetchReq.type = AccessType::Rfo;
+        m->fillDirty = true;
+        m->sentToLower = lower_ != nullptr && lower_->addRead(m->fetchReq);
+        if (!m->sentToLower)
+            ++unsentMshrs_;
+    }
+}
+
+void
+Cache::processReads(Cycle now)
+{
+    for (std::uint32_t budget = params_.lookupsPerCycle;
+         budget > 0 && !rq_.empty() && rq_.front().readyAt <= now;
+         --budget) {
+        const MemRequest req = rq_.front().req;
+        const std::uint32_t set = setIndex(req.line());
+        const std::uint32_t way = findWay(set, req.line());
+        const bool hit = way < params_.ways;
+
+        if (hit) {
+            rq_.pop_front();
+            if (req.type == AccessType::Load)
+                ++stats_.loadLookups, ++stats_.loadHits;
+            else
+                ++stats_.rfoLookups, ++stats_.rfoHits;
+            handleReadHit(req, set, way);
+            invokePrefetcher(req, true);
+            continue;
+        }
+        if (!handleReadMiss(req))
+            break; // MSHRs exhausted: head-of-line retries next cycle.
+        rq_.pop_front();
+        if (req.type == AccessType::Load)
+            ++stats_.loadLookups;
+        else
+            ++stats_.rfoLookups;
+        invokePrefetcher(req, false);
+    }
+}
+
+void
+Cache::handleReadHit(const MemRequest &req, std::uint32_t set,
+                     std::uint32_t way)
+{
+    Line &l = lineAt(set, way);
+    repl_->onHit(set, way, req.pc, req.type);
+    if (l.prefetched) {
+        l.prefetched = false;
+        ++stats_.usefulPrefetches;
+        if (prefetcher_ != nullptr) {
+            ++prefetcher_->stats().useful;
+            prefetcher_->onPrefetchUseful(l.line, req.pc);
+        }
+    }
+    MemRequest resp = req;
+    resp.servedFrom = params_.level;
+    respondUpward(resp, resp);
+}
+
+bool
+Cache::handleReadMiss(const MemRequest &req)
+{
+    if (Mshr *m = findMshr(req.line())) {
+        ++stats_.mshrMerges;
+        if (m->originPrefetch && !m->demandMerged) {
+            ++stats_.mshrLatePrefetchHits;
+            // Late prefetch: the demand caught it in flight. Useful
+            // but tardy feedback for learning prefetchers.
+            if (prefetcher_ != nullptr)
+                prefetcher_->onPrefetchLate(m->line, req.pc);
+        }
+        m->demandMerged = true;
+        if (req.type == AccessType::Rfo)
+            m->fillDirty = true;
+        m->waiters.push_back(req);
+        return true;
+    }
+    Mshr *m = allocMshr();
+    if (m == nullptr)
+        return false;
+    *m = Mshr{};
+    m->valid = true;
+    ++usedMshrs_;
+    m->line = req.line();
+    m->fetchReq = req;
+    m->waiters.push_back(req);
+    if (req.type == AccessType::Rfo)
+        m->fillDirty = true;
+    m->sentToLower = lower_ != nullptr && lower_->addRead(m->fetchReq);
+    if (!m->sentToLower)
+        ++unsentMshrs_;
+    return true;
+}
+
+void
+Cache::processPrefetches(Cycle now)
+{
+    for (std::uint32_t budget = params_.lookupsPerCycle;
+         budget > 0 && !pq_.empty() && pq_.front().readyAt <= now;
+         --budget) {
+        const MemRequest req = pq_.front().req;
+        ++stats_.prefetchLookups;
+        const std::uint32_t set = setIndex(req.line());
+        if (findWay(set, req.line()) < params_.ways ||
+            findMshr(req.line()) != nullptr) {
+            ++stats_.prefetchDropped;
+            pq_.pop_front();
+            continue;
+        }
+        Mshr *m = allocMshr();
+        if (m == nullptr)
+            break; // Prefetches wait for a free MSHR.
+        // Keep at least a couple of MSHRs for demand traffic.
+        if (freeMshrCount() <= 2) {
+            ++stats_.prefetchDropped;
+            pq_.pop_front();
+            continue;
+        }
+        pq_.pop_front();
+        *m = Mshr{};
+        m->valid = true;
+        ++usedMshrs_;
+        m->line = req.line();
+        m->fetchReq = req;
+        m->originPrefetch = true;
+        m->sentToLower = lower_ != nullptr && lower_->addRead(m->fetchReq);
+        if (!m->sentToLower)
+            ++unsentMshrs_;
+        ++stats_.prefetchIssued;
+        if (prefetcher_ != nullptr)
+            ++prefetcher_->stats().issued;
+    }
+}
+
+void
+Cache::invokePrefetcher(const MemRequest &req, bool hit)
+{
+    if (prefetcher_ == nullptr)
+        return;
+    if (req.type != AccessType::Load && req.type != AccessType::Rfo)
+        return;
+    std::vector<Addr> candidates;
+    prefetcher_->onAccess(req.address, req.pc, hit, candidates);
+    for (Addr line : candidates) {
+        if (pq_.size() >= params_.pqSize)
+            break;
+        MemRequest pf;
+        pf.address = line << kLogBlockSize;
+        pf.pc = req.pc;
+        pf.coreId = req.coreId;
+        pf.type = AccessType::Prefetch;
+        pf.cycleCreated = now_;
+        pq_.push_back(QueueEntry{pf, now_ + 1});
+    }
+}
+
+void
+Cache::installLine(Addr line, Addr pc, AccessType type, bool dirty,
+                   bool prefetched)
+{
+    const std::uint32_t set = setIndex(line);
+    std::uint32_t way = params_.ways;
+    for (std::uint32_t w = 0; w < params_.ways; ++w) {
+        if (!lineAt(set, w).valid) {
+            way = w;
+            break;
+        }
+    }
+    if (way == params_.ways) {
+        way = repl_->victim(set);
+        Line &victim = lineAt(set, way);
+        ++stats_.evictions;
+        if (victim.prefetched) {
+            ++stats_.uselessPrefetches;
+            if (prefetcher_ != nullptr) {
+                ++prefetcher_->stats().useless;
+                prefetcher_->onPrefetchUseless(victim.line);
+            }
+        }
+        repl_->onEvict(set, way);
+        if (onEviction)
+            onEviction(victim.line);
+        if (victim.dirty) {
+            ++stats_.dirtyEvictions;
+            if (lower_ != nullptr) {
+                MemRequest wb;
+                wb.address = victim.line << kLogBlockSize;
+                wb.type = AccessType::Writeback;
+                wb.cycleCreated = now_;
+                lower_->addWrite(wb);
+            }
+        }
+    }
+    Line &l = lineAt(set, way);
+    l.line = line;
+    l.valid = true;
+    l.dirty = dirty;
+    l.prefetched = prefetched;
+    repl_->onInsert(set, way, pc, type);
+}
+
+void
+Cache::respondUpward(MemRequest waiter, const MemRequest &fill)
+{
+    waiter.servedFrom = fill.servedFrom;
+    waiter.cycleMcArrive = fill.cycleMcArrive;
+    waiter.servedByHermes = fill.servedByHermes;
+    const auto idx = static_cast<std::size_t>(waiter.coreId);
+    MemClient *upper =
+        idx < uppers_.size() ? uppers_[idx] : nullptr;
+    if (upper != nullptr)
+        upper->returnData(waiter);
+}
+
+void
+Cache::returnData(const MemRequest &req)
+{
+    Mshr *m = findMshr(req.line());
+    assert(m != nullptr && "fill without a matching MSHR");
+
+    ++stats_.fills;
+    const bool prefetched = m->originPrefetch && !m->demandMerged;
+    if (m->originPrefetch) {
+        ++stats_.prefetchFills;
+        if (prefetcher_ != nullptr)
+            prefetcher_->onPrefetchFill(req.line());
+    }
+    installLine(req.line(), m->fetchReq.pc, m->fetchReq.type,
+                m->fillDirty, prefetched);
+    if (onFillFromDram && req.servedFrom == MemLevel::Dram)
+        onFillFromDram(req.line());
+
+    for (const MemRequest &w : m->waiters)
+        respondUpward(w, req);
+    if (!m->sentToLower && unsentMshrs_ > 0)
+        --unsentMshrs_;
+    m->valid = false;
+    --usedMshrs_;
+    m->waiters.clear();
+}
+
+bool
+Cache::probe(Addr line) const
+{
+    const std::uint32_t set = setIndex(line);
+    return findWay(set, line) < params_.ways;
+}
+
+bool
+Cache::probeMshr(Addr line) const
+{
+    for (const auto &m : mshrs_)
+        if (m.valid && m.line == line)
+            return true;
+    return false;
+}
+
+} // namespace hermes

@@ -1,0 +1,200 @@
+#pragma once
+
+/**
+ * @file
+ * Set-associative, write-back, write-allocate cache with MSHRs, modelled
+ * in the style of ChampSim: per-cache read/write/prefetch queues, a
+ * fixed tag-lookup latency, miss forwarding to the next-lower level and
+ * fill propagation back up. The LLC additionally hosts the hardware
+ * prefetcher and exposes fill/eviction hooks used by the TTP off-chip
+ * predictor and by the power model.
+ *
+ * Latencies are *incremental*: with L1=5, L2=10, LLC=40 a demand load
+ * that hits the LLC observes the paper's 55-cycle round trip (Table 4).
+ *
+ * Simplification (documented in DESIGN.md): write queues accept
+ * unconditionally (soft-bounded) to avoid writeback-deadlock plumbing;
+ * an overflow statistic records pressure instead.
+ */
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cache/mem_iface.hh"
+#include "cache/replacement.hh"
+#include "common/types.hh"
+#include "prefetch/prefetcher.hh"
+
+namespace hermes
+{
+
+/** Geometry, timing and queueing parameters of one cache. */
+struct CacheParams
+{
+    std::string name = "cache";
+    MemLevel level = MemLevel::L1;
+    std::uint32_t sets = 64;
+    std::uint32_t ways = 12;
+    /** Incremental tag+data lookup latency in core cycles. */
+    Cycle latency = 5;
+    std::uint32_t mshrs = 16;
+    std::uint32_t rqSize = 32;
+    std::uint32_t pqSize = 32;
+    /** Max tag lookups per cycle per queue class. */
+    std::uint32_t lookupsPerCycle = 4;
+    ReplKind repl = ReplKind::Lru;
+
+    std::uint64_t sizeBytes() const
+    {
+        return static_cast<std::uint64_t>(sets) * ways * kBlockSize;
+    }
+};
+
+/** Per-cache counters. */
+struct CacheStats
+{
+    std::uint64_t loadLookups = 0;
+    std::uint64_t loadHits = 0;
+    std::uint64_t rfoLookups = 0;
+    std::uint64_t rfoHits = 0;
+    std::uint64_t writebackLookups = 0;
+    std::uint64_t writebackHits = 0;
+    std::uint64_t prefetchLookups = 0; ///< Own-prefetch candidates probed
+    std::uint64_t prefetchDropped = 0; ///< Candidates already present
+    std::uint64_t prefetchIssued = 0;  ///< Forwarded to the lower level
+    std::uint64_t mshrMerges = 0;
+    std::uint64_t mshrLatePrefetchHits = 0; ///< Demand merged into pf MSHR
+    std::uint64_t fills = 0;
+    std::uint64_t prefetchFills = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t dirtyEvictions = 0;
+    std::uint64_t usefulPrefetches = 0;
+    std::uint64_t uselessPrefetches = 0;
+    std::uint64_t rqRejects = 0;
+
+    std::uint64_t demandLookups() const { return loadLookups + rfoLookups; }
+    std::uint64_t demandHits() const { return loadHits + rfoHits; }
+    std::uint64_t
+    demandMisses() const
+    {
+        return demandLookups() - demandHits();
+    }
+};
+
+/**
+ * One cache level. Implements MemDevice (requests from above) and
+ * MemClient (fills from below).
+ */
+class Cache : public MemDevice, public MemClient
+{
+  public:
+    explicit Cache(CacheParams params);
+
+    /** Wire the next-lower memory device (cache or DRAM controller). */
+    void setLower(MemDevice *lower) { lower_ = lower; }
+
+    /**
+     * Wire the response receiver for requests from @p core_id. Private
+     * caches use core_id 0; the shared LLC registers one per core.
+     */
+    void setUpper(int core_id, MemClient *upper);
+
+    /** Attach the hardware prefetcher (LLC only; non-owning). */
+    void setPrefetcher(Prefetcher *pf) { prefetcher_ = pf; }
+
+    // MemDevice
+    bool addRead(const MemRequest &req) override;
+    bool addWrite(const MemRequest &req) override;
+    void tick(Cycle now) override;
+
+    // MemClient (fill from the lower level)
+    void returnData(const MemRequest &req) override;
+
+    /** True if @p line is resident (no state change). */
+    bool probe(Addr line) const;
+    /** True if a miss to @p line is outstanding. */
+    bool probeMshr(Addr line) const;
+
+    const CacheParams &params() const { return params_; }
+    const CacheStats &stats() const { return stats_; }
+    void clearStats() { stats_ = CacheStats{}; }
+
+    /** Replacement-metadata bits (storage report). */
+    std::uint64_t replStorageBits() const { return repl_->storageBits(); }
+
+    /** LLC hook: a line was filled from DRAM into the hierarchy. */
+    std::function<void(Addr line)> onFillFromDram;
+    /** LLC hook: a valid line was evicted. */
+    std::function<void(Addr line)> onEviction;
+
+  private:
+    struct Line
+    {
+        Addr line = 0;
+        bool valid = false;
+        bool dirty = false;
+        bool prefetched = false; ///< Brought in by this cache's prefetcher
+    };
+
+    struct Mshr
+    {
+        bool valid = false;
+        bool sentToLower = false;
+        Addr line = 0;
+        MemRequest fetchReq;          ///< Request forwarded down
+        std::vector<MemRequest> waiters; ///< Reads to answer upward
+        bool fillDirty = false;       ///< Install dirty (RFO/store)
+        bool originPrefetch = false;  ///< Allocated by this cache's pf
+        bool demandMerged = false;    ///< A demand joined after allocation
+    };
+
+    struct QueueEntry
+    {
+        MemRequest req;
+        Cycle readyAt = 0;
+    };
+
+    Line &lineAt(std::uint32_t set, std::uint32_t way);
+    const Line &lineAt(std::uint32_t set, std::uint32_t way) const;
+    std::uint32_t setIndex(Addr line) const;
+    /** Find way of a resident line; returns ways on miss. */
+    std::uint32_t findWay(std::uint32_t set, Addr line) const;
+    Mshr *findMshr(Addr line);
+    Mshr *allocMshr();
+    unsigned freeMshrCount() const;
+
+    void processReads(Cycle now);
+    void processWrites(Cycle now);
+    void processPrefetches(Cycle now);
+    void retryUnsentMshrs();
+    void handleReadHit(const MemRequest &req, std::uint32_t set,
+                       std::uint32_t way);
+    /** @return true if the miss was absorbed (MSHR merge or new). */
+    bool handleReadMiss(const MemRequest &req);
+    /** Install a fill; returns the victim way used. */
+    void installLine(Addr line, Addr pc, AccessType type, bool dirty,
+                     bool prefetched);
+    void respondUpward(MemRequest waiter, const MemRequest &fill);
+    void invokePrefetcher(const MemRequest &req, bool hit);
+
+    CacheParams params_;
+    std::unique_ptr<ReplacementPolicy> repl_;
+    std::vector<Line> lines_;
+    std::vector<Mshr> mshrs_;
+    unsigned usedMshrs_ = 0;
+    unsigned unsentMshrs_ = 0;
+    std::deque<QueueEntry> rq_;
+    std::deque<QueueEntry> wq_;
+    std::deque<QueueEntry> pq_;
+    std::vector<MemClient *> uppers_;
+    MemDevice *lower_ = nullptr;
+    Prefetcher *prefetcher_ = nullptr;
+    CacheStats stats_;
+    Cycle now_ = 0;
+};
+
+} // namespace hermes

@@ -1,0 +1,94 @@
+#pragma once
+
+/**
+ * @file
+ * Memory-system plumbing shared by caches, the DRAM controller and the
+ * core: the request record and the device/client interfaces requests
+ * travel through.
+ *
+ * Requests flow *down* (core -> L1 -> L2 -> LLC -> DRAM) via MemDevice
+ * and completed reads flow *up* via MemClient::returnData. A request is
+ * a value type: each level keeps its own copy in its queues/MSHRs, and
+ * the copy returned upward carries the fill provenance (servedFrom),
+ * which is the ground truth for off-chip prediction training.
+ */
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace hermes
+{
+
+/** Classes of memory requests. */
+enum class AccessType : std::uint8_t
+{
+    Load,      ///< Demand read on behalf of a load instruction
+    Rfo,       ///< Read-for-ownership on behalf of a store
+    Prefetch,  ///< Prefetcher-generated read
+    Writeback, ///< Dirty eviction from an upper level
+    Hermes,    ///< Speculative direct-to-memory read (Hermes request)
+};
+
+/** Memory levels, used to record where a request was serviced. */
+enum class MemLevel : std::uint8_t
+{
+    L1,
+    L2,
+    Llc,
+    Dram,
+};
+
+/** A memory request/response record. */
+struct MemRequest
+{
+    std::uint64_t id = 0;  ///< Unique per-request id (debug/tracking)
+    Addr address = 0;      ///< Byte address
+    Addr pc = 0;           ///< PC of the triggering instruction
+    int coreId = 0;
+    AccessType type = AccessType::Load;
+    InstrId instrId = 0;   ///< Core-local sequence number (loads only)
+
+    Cycle cycleCreated = 0;  ///< When the demand access started at L1
+    Cycle cycleMcArrive = 0; ///< When the request reached the MC (if ever)
+
+    MemLevel servedFrom = MemLevel::L1; ///< Where the data came from
+    bool servedByHermes = false; ///< Completed by merging with a Hermes req
+
+    Addr line() const { return lineAddr(address); }
+};
+
+/** Receiver of completed read responses (a cache above, or the core). */
+class MemClient
+{
+  public:
+    virtual ~MemClient() = default;
+
+    /** A read (Load/Rfo/Prefetch) this client issued has completed. */
+    virtual void returnData(const MemRequest &req) = 0;
+};
+
+/** A memory device that accepts requests (a cache or the DRAM MC). */
+class MemDevice
+{
+  public:
+    virtual ~MemDevice() = default;
+
+    /**
+     * Enqueue a demand/prefetch-miss read.
+     * @return false if the read queue is full (caller must retry).
+     */
+    virtual bool addRead(const MemRequest &req) = 0;
+
+    /**
+     * Enqueue a write (store commit at L1, or a dirty writeback).
+     * Writes produce no upward response.
+     * @return false if the write queue is full.
+     */
+    virtual bool addWrite(const MemRequest &req) = 0;
+
+    /** Advance the device one core cycle. */
+    virtual void tick(Cycle now) = 0;
+};
+
+} // namespace hermes

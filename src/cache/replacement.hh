@@ -1,0 +1,68 @@
+#pragma once
+
+/**
+ * @file
+ * Cache replacement policies: LRU (L1/L2), SRRIP, and SHiP (the paper's
+ * LLC policy, Table 4). Policies are separate from the cache so tests
+ * can exercise them in isolation and caches can swap them by config.
+ */
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cache/mem_iface.hh"
+#include "common/types.hh"
+
+namespace hermes
+{
+
+/** Replacement policy selector. */
+enum class ReplKind : std::uint8_t
+{
+    Lru,
+    Srrip,
+    Ship,
+};
+
+/**
+ * Replacement policy interface. The cache informs the policy of every
+ * insertion, hit and eviction; the policy picks victims. Way indices
+ * are cache-relative; invalid ways are preferred automatically by the
+ * cache itself, so victim() is only consulted when the set is full.
+ */
+class ReplacementPolicy
+{
+  public:
+    virtual ~ReplacementPolicy() = default;
+
+    virtual const char *name() const = 0;
+
+    /** Pick a victim way in a full set. */
+    virtual std::uint32_t victim(std::uint32_t set) = 0;
+
+    /** A line was inserted into (set, way). */
+    virtual void onInsert(std::uint32_t set, std::uint32_t way, Addr pc,
+                          AccessType type) = 0;
+
+    /** A demand access hit (set, way). */
+    virtual void onHit(std::uint32_t set, std::uint32_t way, Addr pc,
+                       AccessType type) = 0;
+
+    /** The line at (set, way) is being evicted. */
+    virtual void onEvict(std::uint32_t set, std::uint32_t way) = 0;
+
+    /** Metadata storage in bits (for the storage report). */
+    virtual std::uint64_t storageBits() const = 0;
+};
+
+/** Instantiate a policy for a sets x ways geometry. */
+std::unique_ptr<ReplacementPolicy> makeReplacement(ReplKind kind,
+                                                   std::uint32_t sets,
+                                                   std::uint32_t ways);
+
+/** Parse a policy name ("lru", "srrip", "ship"). */
+ReplKind replKindFromString(const std::string &name);
+
+} // namespace hermes

@@ -1,0 +1,162 @@
+#include "common/config.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <sstream>
+
+namespace hermes
+{
+
+namespace
+{
+
+std::string
+trim(const std::string &s)
+{
+    auto is_space = [](unsigned char c) { return std::isspace(c) != 0; };
+    auto b = std::find_if_not(s.begin(), s.end(), is_space);
+    auto e = std::find_if_not(s.rbegin(), s.rend(), is_space).base();
+    return (b < e) ? std::string(b, e) : std::string();
+}
+
+} // namespace
+
+bool
+Config::parse(const std::string &text)
+{
+    std::istringstream in(text);
+    std::string line;
+    bool ok = true;
+    while (std::getline(in, line)) {
+        const std::string t = trim(line);
+        if (t.empty() || t[0] == '#' || t[0] == ';')
+            continue;
+        const auto eq = t.find('=');
+        if (eq == std::string::npos) {
+            ok = false;
+            continue;
+        }
+        const std::string key = trim(t.substr(0, eq));
+        const std::string value = trim(t.substr(eq + 1));
+        if (key.empty()) {
+            ok = false;
+            continue;
+        }
+        set(key, value);
+    }
+    return ok;
+}
+
+void
+Config::parseArgs(int argc, const char *const *argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg(argv[i]);
+        const auto eq = arg.find('=');
+        if (eq == std::string::npos || eq == 0)
+            continue;
+        std::string key = arg.substr(0, eq);
+        // Accept --key=value as well as key=value.
+        while (!key.empty() && key.front() == '-')
+            key.erase(key.begin());
+        set(key, arg.substr(eq + 1));
+    }
+}
+
+void
+Config::set(const std::string &key, const std::string &value)
+{
+    if (values_.find(key) == values_.end())
+        order_.push_back(key);
+    values_[key] = value;
+}
+
+bool
+Config::contains(const std::string &key) const
+{
+    return values_.find(key) != values_.end();
+}
+
+std::optional<std::string>
+Config::getString(const std::string &key) const
+{
+    auto it = values_.find(key);
+    if (it == values_.end())
+        return std::nullopt;
+    return it->second;
+}
+
+std::optional<std::int64_t>
+Config::getInt(const std::string &key) const
+{
+    auto s = getString(key);
+    if (!s)
+        return std::nullopt;
+    char *end = nullptr;
+    const long long v = std::strtoll(s->c_str(), &end, 0);
+    if (end == s->c_str() || *end != '\0')
+        return std::nullopt;
+    return static_cast<std::int64_t>(v);
+}
+
+std::optional<double>
+Config::getDouble(const std::string &key) const
+{
+    auto s = getString(key);
+    if (!s)
+        return std::nullopt;
+    char *end = nullptr;
+    const double v = std::strtod(s->c_str(), &end);
+    if (end == s->c_str() || *end != '\0')
+        return std::nullopt;
+    return v;
+}
+
+std::optional<bool>
+Config::getBool(const std::string &key) const
+{
+    auto s = getString(key);
+    if (!s)
+        return std::nullopt;
+    std::string v = *s;
+    std::transform(v.begin(), v.end(), v.begin(),
+                   [](unsigned char c) { return std::tolower(c); });
+    if (v == "1" || v == "true" || v == "yes" || v == "on")
+        return true;
+    if (v == "0" || v == "false" || v == "no" || v == "off")
+        return false;
+    return std::nullopt;
+}
+
+std::string
+Config::get(const std::string &key, const std::string &dflt) const
+{
+    return getString(key).value_or(dflt);
+}
+
+std::int64_t
+Config::get(const std::string &key, std::int64_t dflt) const
+{
+    return getInt(key).value_or(dflt);
+}
+
+double
+Config::get(const std::string &key, double dflt) const
+{
+    return getDouble(key).value_or(dflt);
+}
+
+bool
+Config::get(const std::string &key, bool dflt) const
+{
+    return getBool(key).value_or(dflt);
+}
+
+std::vector<std::string>
+Config::keys() const
+{
+    return order_;
+}
+
+} // namespace hermes

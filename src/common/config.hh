@@ -1,0 +1,58 @@
+#pragma once
+
+/**
+ * @file
+ * Minimal key=value configuration store used by the examples and the
+ * benchmark harness to override simulation parameters from the command
+ * line or from simple .ini-style strings ("key = value" lines, '#'
+ * comments).
+ */
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace hermes
+{
+
+/** Ordered key=value store with typed accessors. */
+class Config
+{
+  public:
+    Config() = default;
+
+    /**
+     * Parse "key = value" lines. Blank lines and lines starting with '#'
+     * or ';' are ignored. Later keys override earlier ones.
+     * @return false if any non-comment line is malformed.
+     */
+    bool parse(const std::string &text);
+
+    /** Parse command-line style "key=value" tokens; others are ignored. */
+    void parseArgs(int argc, const char *const *argv);
+
+    void set(const std::string &key, const std::string &value);
+    bool contains(const std::string &key) const;
+
+    std::optional<std::string> getString(const std::string &key) const;
+    std::optional<std::int64_t> getInt(const std::string &key) const;
+    std::optional<double> getDouble(const std::string &key) const;
+    std::optional<bool> getBool(const std::string &key) const;
+
+    /** Typed accessors with defaults. */
+    std::string get(const std::string &key, const std::string &dflt) const;
+    std::int64_t get(const std::string &key, std::int64_t dflt) const;
+    double get(const std::string &key, double dflt) const;
+    bool get(const std::string &key, bool dflt) const;
+
+    /** All keys, in insertion order. */
+    std::vector<std::string> keys() const;
+
+  private:
+    std::map<std::string, std::string> values_;
+    std::vector<std::string> order_;
+};
+
+} // namespace hermes

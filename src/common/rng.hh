@@ -1,0 +1,71 @@
+#pragma once
+
+/**
+ * @file
+ * Deterministic pseudo-random number generation for synthetic workloads
+ * and tests. A small xorshift128+ generator is used instead of <random>
+ * engines so that the exact sequence is stable across standard-library
+ * versions, keeping trace generation reproducible byte-for-byte.
+ */
+
+#include <cstdint>
+
+namespace hermes
+{
+
+/** xorshift128+ PRNG with splitmix64 seeding. */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull)
+    {
+        // splitmix64 to spread low-entropy seeds over both words.
+        std::uint64_t z = seed;
+        for (auto *s : {&s0_, &s1_}) {
+            z += 0x9E3779B97F4A7C15ull;
+            std::uint64_t t = z;
+            t = (t ^ (t >> 30)) * 0xBF58476D1CE4E5B9ull;
+            t = (t ^ (t >> 27)) * 0x94D049BB133111EBull;
+            *s = t ^ (t >> 31);
+        }
+        if (s0_ == 0 && s1_ == 0)
+            s1_ = 1;
+    }
+
+    /** Next 64 uniformly random bits. */
+    std::uint64_t
+    next()
+    {
+        std::uint64_t x = s0_;
+        const std::uint64_t y = s1_;
+        s0_ = y;
+        x ^= x << 23;
+        s1_ = x ^ y ^ (x >> 17) ^ (y >> 26);
+        return s1_ + y;
+    }
+
+    /** Uniform integer in [0, bound). bound must be > 0. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        // Multiply-shift; bias is negligible for simulation purposes.
+        return static_cast<std::uint64_t>(
+            (static_cast<unsigned __int128>(next()) * bound) >> 64);
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Bernoulli draw with probability p of returning true. */
+    bool chance(double p) { return uniform() < p; }
+
+  private:
+    std::uint64_t s0_ = 0;
+    std::uint64_t s1_ = 0;
+};
+
+} // namespace hermes

@@ -1,0 +1,78 @@
+#pragma once
+
+/**
+ * @file
+ * Saturating counters used throughout the predictors: an n-bit signed
+ * saturating weight (perceptrons) and an n-bit unsigned saturating
+ * counter (bimodal tables, SHiP, SPP confidence).
+ */
+
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
+
+namespace hermes
+{
+
+/**
+ * Signed saturating integer with a configurable bit width.
+ * A 5-bit instance saturates at [-16, +15], matching POPET's weights.
+ */
+class SignedSatCounter
+{
+  public:
+    explicit SignedSatCounter(unsigned bits = 5, int initial = 0)
+        : min_(-(1 << (bits - 1))), max_((1 << (bits - 1)) - 1),
+          value_(std::clamp(initial, min_, max_))
+    {
+        assert(bits >= 2 && bits <= 16);
+    }
+
+    int value() const { return value_; }
+    int min() const { return min_; }
+    int max() const { return max_; }
+
+    /** Increment toward the positive saturation point. */
+    void increment() { value_ = std::min(value_ + 1, max_); }
+    /** Decrement toward the negative saturation point. */
+    void decrement() { value_ = std::max(value_ - 1, min_); }
+
+    bool saturatedHigh() const { return value_ == max_; }
+    bool saturatedLow() const { return value_ == min_; }
+
+  private:
+    int min_;
+    int max_;
+    int value_;
+};
+
+/**
+ * Unsigned saturating counter with a configurable bit width, e.g. the
+ * 2-bit hysteresis counters of HMP's component predictors.
+ */
+class SatCounter
+{
+  public:
+    explicit SatCounter(unsigned bits = 2, unsigned initial = 0)
+        : max_((1u << bits) - 1), value_(std::min(initial, max_))
+    {
+        assert(bits >= 1 && bits <= 16);
+    }
+
+    unsigned value() const { return value_; }
+    unsigned max() const { return max_; }
+
+    void increment() { value_ = std::min(value_ + 1, max_); }
+    void decrement() { value_ = value_ == 0 ? 0 : value_ - 1; }
+
+    /** True when in the upper half of the counter's range. */
+    bool taken() const { return value_ > max_ / 2; }
+
+    void set(unsigned v) { value_ = std::min(v, max_); }
+
+  private:
+    unsigned max_;
+    unsigned value_;
+};
+
+} // namespace hermes

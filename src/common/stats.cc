@@ -1,0 +1,111 @@
+#include "common/stats.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+#include <sstream>
+
+namespace hermes
+{
+
+double
+mean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double s = 0;
+    for (double x : xs)
+        s += x;
+    return s / static_cast<double>(xs.size());
+}
+
+double
+geomean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double s = 0;
+    for (double x : xs) {
+        assert(x > 0.0);
+        s += std::log(x);
+    }
+    return std::exp(s / static_cast<double>(xs.size()));
+}
+
+double
+percentile(std::vector<double> xs, double p)
+{
+    if (xs.empty())
+        return 0.0;
+    std::sort(xs.begin(), xs.end());
+    if (xs.size() == 1)
+        return xs.front();
+    const double rank = p / 100.0 * static_cast<double>(xs.size() - 1);
+    const auto lo = static_cast<std::size_t>(rank);
+    const std::size_t hi = std::min(lo + 1, xs.size() - 1);
+    const double frac = rank - static_cast<double>(lo);
+    return xs[lo] + (xs[hi] - xs[lo]) * frac;
+}
+
+BoxStats
+boxStats(const std::vector<double> &xs)
+{
+    BoxStats b;
+    if (xs.empty())
+        return b;
+    b.min = *std::min_element(xs.begin(), xs.end());
+    b.max = *std::max_element(xs.begin(), xs.end());
+    b.q1 = percentile(xs, 25);
+    b.median = percentile(xs, 50);
+    b.q3 = percentile(xs, 75);
+    b.mean = mean(xs);
+    const double iqr = b.q3 - b.q1;
+    b.whiskerLow = std::max(b.min, b.q1 - 1.5 * iqr);
+    b.whiskerHigh = std::min(b.max, b.q3 + 1.5 * iqr);
+    return b;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0)
+{
+    assert(hi > lo && bins > 0);
+}
+
+void
+Histogram::add(double x, std::uint64_t weight)
+{
+    total_ += weight;
+    if (x < lo_) {
+        underflow_ += weight;
+        return;
+    }
+    if (x >= hi_) {
+        overflow_ += weight;
+        return;
+    }
+    const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+    auto idx = static_cast<std::size_t>((x - lo_) / width);
+    idx = std::min(idx, counts_.size() - 1);
+    counts_[idx] += weight;
+}
+
+double
+Histogram::binLow(std::size_t i) const
+{
+    const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+    return lo_ + width * static_cast<double>(i);
+}
+
+std::string
+Histogram::toString() const
+{
+    std::ostringstream os;
+    for (std::size_t i = 0; i < counts_.size(); ++i)
+        os << "[" << binLow(i) << ", " << binLow(i + 1) << "): "
+           << counts_[i] << "\n";
+    os << "underflow: " << underflow_ << " overflow: " << overflow_ << "\n";
+    return os.str();
+}
+
+} // namespace hermes

@@ -1,0 +1,101 @@
+#pragma once
+
+/**
+ * @file
+ * Small statistics toolkit used by the simulator and the benchmark
+ * harness: aggregation helpers (mean, geometric mean), a streaming
+ * summary, a box-and-whiskers summary (Fig. 15a style) and a fixed-bin
+ * histogram.
+ */
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace hermes
+{
+
+/** Arithmetic mean; 0 for an empty vector. */
+double mean(const std::vector<double> &xs);
+
+/** Geometric mean; 0 for an empty vector. All inputs must be > 0. */
+double geomean(const std::vector<double> &xs);
+
+/** p-th percentile (0..100) using linear interpolation; 0 if empty. */
+double percentile(std::vector<double> xs, double p);
+
+/**
+ * Five-number summary plus mean, matching the box-and-whiskers plots in
+ * the paper (first/third quartile box, 1.5*IQR whiskers, mean marker).
+ */
+struct BoxStats
+{
+    double min = 0;
+    double q1 = 0;
+    double median = 0;
+    double q3 = 0;
+    double max = 0;
+    double mean = 0;
+    double whiskerLow = 0;
+    double whiskerHigh = 0;
+};
+
+/** Compute a BoxStats summary of the samples. */
+BoxStats boxStats(const std::vector<double> &xs);
+
+/** Streaming mean/min/max accumulator. */
+class Summary
+{
+  public:
+    void
+    add(double x)
+    {
+        sum_ += x;
+        count_ += 1;
+        if (count_ == 1 || x < min_)
+            min_ = x;
+        if (count_ == 1 || x > max_)
+            max_ = x;
+    }
+
+    std::size_t count() const { return count_; }
+    double sum() const { return sum_; }
+    double mean() const { return count_ ? sum_ / count_ : 0.0; }
+    double min() const { return min_; }
+    double max() const { return max_; }
+
+  private:
+    double sum_ = 0;
+    double min_ = 0;
+    double max_ = 0;
+    std::size_t count_ = 0;
+};
+
+/** Fixed-width histogram over [lo, hi) with an overflow/underflow bin. */
+class Histogram
+{
+  public:
+    Histogram(double lo, double hi, std::size_t bins);
+
+    void add(double x, std::uint64_t weight = 1);
+
+    std::size_t bins() const { return counts_.size(); }
+    std::uint64_t binCount(std::size_t i) const { return counts_.at(i); }
+    std::uint64_t underflow() const { return underflow_; }
+    std::uint64_t overflow() const { return overflow_; }
+    std::uint64_t total() const { return total_; }
+    /** Inclusive lower edge of bin i. */
+    double binLow(std::size_t i) const;
+
+    std::string toString() const;
+
+  private:
+    double lo_;
+    double hi_;
+    std::vector<std::uint64_t> counts_;
+    std::uint64_t underflow_ = 0;
+    std::uint64_t overflow_ = 0;
+    std::uint64_t total_ = 0;
+};
+
+} // namespace hermes

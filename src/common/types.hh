@@ -1,0 +1,68 @@
+#pragma once
+
+/**
+ * @file
+ * Fundamental types and memory-geometry constants shared across the
+ * simulator: addresses, cycles, block/page geometry and helpers to move
+ * between byte addresses, cache-line addresses and page numbers.
+ */
+
+#include <cstdint>
+
+namespace hermes
+{
+
+/** Byte address in the simulated (virtual == physical) address space. */
+using Addr = std::uint64_t;
+
+/** Core clock cycle count. All latencies are expressed in core cycles. */
+using Cycle = std::uint64_t;
+
+/** Monotonically increasing instruction sequence number. */
+using InstrId = std::uint64_t;
+
+/** Cache-block geometry (64B lines, 4KB pages), matching the paper. */
+constexpr unsigned kLogBlockSize = 6;
+constexpr unsigned kBlockSize = 1u << kLogBlockSize;
+constexpr unsigned kLogPageSize = 12;
+constexpr unsigned kPageSize = 1u << kLogPageSize;
+/** Cache lines per page (64). */
+constexpr unsigned kBlocksPerPage = kPageSize / kBlockSize;
+
+/** Byte address -> cache-line address (block number). */
+constexpr Addr
+lineAddr(Addr byte_addr)
+{
+    return byte_addr >> kLogBlockSize;
+}
+
+/** Byte address -> virtual page number. */
+constexpr Addr
+pageNumber(Addr byte_addr)
+{
+    return byte_addr >> kLogPageSize;
+}
+
+/** Byte offset of an address within its cache line [0, 63]. */
+constexpr unsigned
+byteOffsetInLine(Addr byte_addr)
+{
+    return static_cast<unsigned>(byte_addr & (kBlockSize - 1));
+}
+
+/** Cache-line offset of an address within its page [0, 63]. */
+constexpr unsigned
+lineOffsetInPage(Addr byte_addr)
+{
+    return static_cast<unsigned>((byte_addr >> kLogBlockSize) &
+                                 (kBlocksPerPage - 1));
+}
+
+/** Word (4B) offset of an address within its cache line [0, 15]. */
+constexpr unsigned
+wordOffsetInLine(Addr byte_addr)
+{
+    return static_cast<unsigned>((byte_addr >> 2) & (kBlockSize / 4 - 1));
+}
+
+} // namespace hermes

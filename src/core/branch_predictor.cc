@@ -1,0 +1,84 @@
+#include "core/branch_predictor.hh"
+
+#include <algorithm>
+
+namespace hermes
+{
+
+namespace
+{
+
+std::uint32_t
+mix32(std::uint64_t x)
+{
+    x ^= x >> 33;
+    x *= 0xFF51AFD7ED558CCDull;
+    x ^= x >> 29;
+    return static_cast<std::uint32_t>(x);
+}
+
+} // namespace
+
+BranchPredictor::BranchPredictor()
+{
+    for (auto &t : weights_)
+        t.assign(kTableSize, 0);
+}
+
+std::uint32_t
+BranchPredictor::indexFor(unsigned table, Addr pc) const
+{
+    switch (table) {
+      case 0:
+        return mix32(pc) & (kTableSize - 1);
+      case 1:
+        return mix32(pc ^ (ghr_ & 0xFFFF)) & (kTableSize - 1);
+      default:
+        return mix32((ghr_ >> 4) ^ (pc << 7)) & (kTableSize - 1);
+    }
+}
+
+bool
+BranchPredictor::predict(Addr pc)
+{
+    ++stats_.lookups;
+    int sum = 0;
+    for (unsigned t = 0; t < kTables; ++t) {
+        lastIndex_[t] = indexFor(t, pc);
+        sum += weights_[t][lastIndex_[t]];
+    }
+    lastSum_ = sum;
+    lastPrediction_ = sum >= 0;
+    return lastPrediction_;
+}
+
+bool
+BranchPredictor::update(Addr pc, bool taken)
+{
+    (void)pc;
+    const bool mispredicted = lastPrediction_ != taken;
+    if (mispredicted)
+        ++stats_.mispredicts;
+
+    if (mispredicted || std::abs(lastSum_) < kThreshold) {
+        for (unsigned t = 0; t < kTables; ++t) {
+            std::int8_t &w = weights_[t][lastIndex_[t]];
+            if (taken)
+                w = static_cast<std::int8_t>(std::min<int>(w + 1,
+                                                           kWeightMax));
+            else
+                w = static_cast<std::int8_t>(std::max<int>(w - 1,
+                                                           kWeightMin));
+        }
+    }
+    ghr_ = (ghr_ << 1) | static_cast<std::uint64_t>(taken);
+    return mispredicted;
+}
+
+std::uint64_t
+BranchPredictor::storageBits() const
+{
+    return static_cast<std::uint64_t>(kTables) * kTableSize * 8 + 64;
+}
+
+} // namespace hermes

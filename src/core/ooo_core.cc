@@ -1,0 +1,284 @@
+#include "core/ooo_core.hh"
+
+#include <algorithm>
+#include <cassert>
+
+namespace hermes
+{
+
+OooCore::OooCore(int core_id, CoreParams params, Workload *workload,
+                 MemDevice *l1d, HermesController *hermes)
+    : coreId_(core_id), params_(params), workload_(workload), l1d_(l1d),
+      hermes_(hermes), rob_(params.robSize)
+{
+    assert(params_.robSize > 0 && params_.fetchWidth > 0);
+}
+
+OooCore::RobEntry &
+OooCore::entry(InstrId seq)
+{
+    return rob_[seq % params_.robSize];
+}
+
+void
+OooCore::clearStats()
+{
+    stats_ = CoreStats{};
+    branch_.clearStats();
+}
+
+bool
+OooCore::nonLoadComplete(const RobEntry &e, Cycle now) const
+{
+    return e.state == State::Ready && e.readyAt <= now;
+}
+
+void
+OooCore::tick(Cycle now)
+{
+    now_ = now;
+    ++stats_.cycles;
+    retire(now);
+    issueLoads(now);
+    dispatch(now);
+    if (hermes_ != nullptr)
+        hermes_->tick(now);
+}
+
+void
+OooCore::retire(Cycle now)
+{
+    for (unsigned n = 0; n < params_.retireWidth && !robEmpty(); ++n) {
+        RobEntry &head = entry(headSeq_);
+        const bool is_load = head.instr.kind == InstrKind::Load;
+        const bool complete =
+            head.state == State::Done ||
+            (!is_load && nonLoadComplete(head, now));
+        if (!complete) {
+            ++head.blockedCycles;
+            break;
+        }
+
+        switch (head.instr.kind) {
+          case InstrKind::Load: {
+            ++stats_.loadsRetired;
+            if (head.wentOffChip) {
+                ++stats_.loadsOffChip;
+                if (head.blockedCycles > 0)
+                    ++stats_.offChipBlocking;
+                else
+                    ++stats_.offChipNonBlocking;
+                stats_.stallCyclesOffChip += head.blockedCycles;
+                // The hierarchy-traversal portion of the load latency
+                // (L1 access start -> MC arrival) bounds the stall
+                // cycles Hermes could remove (Fig. 3).
+                const Cycle traversal =
+                    head.mcArrive > head.l1Issue
+                        ? head.mcArrive - head.l1Issue
+                        : 0;
+                stats_.stallCyclesEliminable +=
+                    std::min<std::uint64_t>(head.blockedCycles, traversal);
+            } else {
+                stats_.stallCyclesOtherLoad += head.blockedCycles;
+            }
+            if (head.servedByHermes)
+                ++stats_.loadsServedByHermes;
+            break;
+          }
+          case InstrKind::Store:
+            ++stats_.storesRetired;
+            stats_.stallCyclesOther += head.blockedCycles;
+            // Commit the store to the L1 via its write queue
+            // (write-allocate; see cache.cc).
+            {
+                MemRequest wr;
+                wr.address = head.instr.vaddr;
+                wr.pc = head.instr.pc;
+                wr.coreId = coreId_;
+                wr.type = AccessType::Rfo;
+                wr.cycleCreated = now;
+                l1d_->addWrite(wr);
+                assert(sqUsed_ > 0);
+                --sqUsed_;
+            }
+            break;
+          case InstrKind::Branch:
+            ++stats_.branchesRetired;
+            stats_.stallCyclesOther += head.blockedCycles;
+            break;
+          case InstrKind::Alu:
+            stats_.stallCyclesOther += head.blockedCycles;
+            break;
+        }
+
+        head.state = State::Empty;
+        ++headSeq_;
+        ++stats_.instrsRetired;
+    }
+}
+
+void
+OooCore::issueLoads(Cycle now)
+{
+    unsigned issued = 0;
+    while (issued < params_.maxLoadsPerCycle && !readyLoads_.empty()) {
+        const InstrId seq = readyLoads_.front();
+        RobEntry &e = entry(seq);
+        assert(e.seq == seq && e.instr.kind == InstrKind::Load);
+        if (e.issueAt > now)
+            break;
+
+        MemRequest req;
+        req.address = e.instr.vaddr;
+        req.pc = e.instr.pc;
+        req.coreId = coreId_;
+        req.type = AccessType::Load;
+        req.instrId = seq;
+        req.cycleCreated = now;
+        if (!l1d_->addRead(req))
+            break; // L1 read queue full: retry next cycle.
+        readyLoads_.pop_front();
+        e.state = State::IssuedToMem;
+        e.l1Issue = now;
+        if (hermes_ != nullptr)
+            hermes_->onLoadIssued(req, e.predMeta, now);
+        ++issued;
+    }
+}
+
+void
+OooCore::dispatch(Cycle now)
+{
+    for (unsigned n = 0; n < params_.fetchWidth; ++n) {
+        if (now < fetchResumeAt_ || robFull())
+            return;
+        if (!pendingFetch_)
+            pendingFetch_ = workload_->next();
+        const TraceInstr &instr = *pendingFetch_;
+        if (instr.kind == InstrKind::Load && lqUsed_ >= params_.lqSize)
+            return;
+        if (instr.kind == InstrKind::Store && sqUsed_ >= params_.sqSize)
+            return;
+        dispatchOne(instr, now);
+        pendingFetch_.reset();
+    }
+}
+
+void
+OooCore::dispatchOne(const TraceInstr &instr, Cycle now)
+{
+    const InstrId seq = nextSeq_++;
+    RobEntry &e = entry(seq);
+    e = RobEntry{};
+    e.instr = instr;
+    e.seq = seq;
+
+    // Resolve the (optional) data dependence on an older instruction.
+    // Only in-flight loads need the wakeup machinery: non-load
+    // producers have statically known completion times, so dependents
+    // simply inherit them.
+    bool dep_pending = false;
+    Cycle dep_ready_at = now;
+    if (instr.depDistance > 0 && instr.depDistance < seq) {
+        const InstrId dep_seq = seq - instr.depDistance;
+        if (dep_seq >= headSeq_) {
+            RobEntry &producer = entry(dep_seq);
+            if (producer.seq == dep_seq &&
+                producer.state != State::Empty) {
+                const bool in_flight_load =
+                    producer.instr.kind == InstrKind::Load &&
+                    producer.state != State::Done;
+                if (in_flight_load) {
+                    producer.waiters.push_back(seq);
+                    dep_pending = true;
+                } else {
+                    dep_ready_at = std::max(dep_ready_at,
+                                            producer.readyAt);
+                }
+            }
+        }
+    }
+
+    switch (instr.kind) {
+      case InstrKind::Alu:
+        e.state = dep_pending ? State::WaitingDep : State::Ready;
+        e.readyAt = dep_ready_at + params_.aluLatency;
+        break;
+      case InstrKind::Branch: {
+        e.state = State::Ready;
+        e.readyAt = now + 1;
+        branch_.predict(instr.pc);
+        if (branch_.update(instr.pc, instr.branchTaken)) {
+            ++stats_.branchMispredicts;
+            // Squash the front-end: fetch resumes after the branch
+            // resolves plus the pipeline-refill penalty.
+            fetchResumeAt_ = now + 1 + params_.mispredictPenalty;
+        }
+        break;
+      }
+      case InstrKind::Store:
+        ++sqUsed_;
+        e.state = dep_pending ? State::WaitingDep : State::Ready;
+        e.readyAt = dep_ready_at + 1;
+        break;
+      case InstrKind::Load: {
+        ++lqUsed_;
+        // LQ allocation: consult the off-chip predictor (paper §6.1.1).
+        if (hermes_ != nullptr)
+            hermes_->predictLoad(instr.pc, instr.vaddr, e.predMeta);
+        if (dep_pending) {
+            e.state = State::WaitingDep;
+        } else {
+            e.state = State::Ready;
+            e.issueAt = dep_ready_at + params_.agenLatency;
+            readyLoads_.push_back(seq);
+        }
+        break;
+      }
+    }
+}
+
+void
+OooCore::wake(RobEntry &producer, Cycle now)
+{
+    for (const InstrId wseq : producer.waiters) {
+        if (wseq < headSeq_ || wseq >= nextSeq_)
+            continue;
+        RobEntry &w = entry(wseq);
+        if (w.seq != wseq || w.state != State::WaitingDep)
+            continue;
+        w.state = State::Ready;
+        w.readyAt = now + params_.aluLatency;
+        if (w.instr.kind == InstrKind::Load) {
+            w.issueAt = now + params_.agenLatency;
+            readyLoads_.push_back(wseq);
+        }
+    }
+    producer.waiters.clear();
+}
+
+void
+OooCore::returnData(const MemRequest &req)
+{
+    const InstrId seq = req.instrId;
+    if (seq < headSeq_ || seq >= nextSeq_)
+        return; // Stale response (should not happen; loads block retire)
+    RobEntry &e = entry(seq);
+    if (e.seq != seq || e.instr.kind != InstrKind::Load ||
+        e.state != State::IssuedToMem)
+        return;
+
+    e.state = State::Done;
+    e.wentOffChip = req.servedFrom == MemLevel::Dram;
+    e.servedByHermes = req.servedByHermes;
+    e.mcArrive = req.cycleMcArrive;
+    assert(lqUsed_ > 0);
+    --lqUsed_;
+
+    if (hermes_ != nullptr)
+        hermes_->onLoadComplete(e.instr.pc, e.instr.vaddr, e.predMeta,
+                                e.wentOffChip, e.servedByHermes);
+    wake(e, now_);
+}
+
+} // namespace hermes

@@ -1,0 +1,177 @@
+#pragma once
+
+/**
+ * @file
+ * Trace-driven out-of-order core model (ChampSim style, Table 4):
+ * 6-wide fetch/retire, 512-entry ROB, 128/72-entry LQ/SQ, perceptron
+ * branch predictor with a 17-cycle misprediction penalty.
+ *
+ * The model tracks exactly the microarchitectural effects the paper's
+ * evaluation depends on:
+ *  - loads occupy LQ entries, access the L1 and block retirement at the
+ *    ROB head until their data returns;
+ *  - explicit trace dependences serialise pointer-chase loads;
+ *  - per-load stall attribution distinguishes off-chip blocking loads
+ *    (Fig. 2/3/15a) and records how much of each stall the on-chip
+ *    hierarchy traversal contributed (the "eliminable" fraction);
+ *  - the Hermes hooks: predict at LQ allocation, issue after address
+ *    generation, train at completion.
+ *
+ * Non-goals (documented simplifications): no register renaming — ALU
+ * ILP is assumed abundant except for explicit trace dependences; stores
+ * commit to the L1 write queue at retirement without store-to-load
+ * forwarding.
+ */
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "cache/mem_iface.hh"
+#include "common/types.hh"
+#include "core/branch_predictor.hh"
+#include "hermes/hermes.hh"
+#include "predictor/offchip_pred.hh"
+#include "trace/workload.hh"
+
+namespace hermes
+{
+
+/** Core microarchitecture parameters (Table 4 defaults). */
+struct CoreParams
+{
+    unsigned fetchWidth = 6;
+    unsigned retireWidth = 6;
+    unsigned robSize = 512;
+    unsigned lqSize = 128;
+    unsigned sqSize = 72;
+    Cycle mispredictPenalty = 17;
+    Cycle aluLatency = 1;
+    /** Address-generation delay between readiness and L1 issue. */
+    Cycle agenLatency = 1;
+    unsigned maxLoadsPerCycle = 2;
+};
+
+/** Core-level statistics. */
+struct CoreStats
+{
+    std::uint64_t cycles = 0;
+    std::uint64_t instrsRetired = 0;
+    std::uint64_t loadsRetired = 0;
+    std::uint64_t storesRetired = 0;
+    std::uint64_t branchesRetired = 0;
+    std::uint64_t branchMispredicts = 0;
+
+    std::uint64_t loadsOffChip = 0;       ///< Served by DRAM
+    std::uint64_t offChipBlocking = 0;    ///< ...that blocked retirement
+    std::uint64_t offChipNonBlocking = 0;
+    std::uint64_t loadsServedByHermes = 0;
+
+    std::uint64_t stallCyclesOffChip = 0; ///< Head blocked by off-chip ld
+    std::uint64_t stallCyclesOtherLoad = 0;
+    std::uint64_t stallCyclesOther = 0;
+    /** Portion of off-chip stalls removable by skipping the hierarchy
+     * traversal (Fig. 3 dark bars). */
+    std::uint64_t stallCyclesEliminable = 0;
+
+    double
+    ipc() const
+    {
+        return cycles ? static_cast<double>(instrsRetired) /
+                            static_cast<double>(cycles)
+                      : 0.0;
+    }
+};
+
+/**
+ * One simulated core. Implements MemClient to receive load data from
+ * its L1.
+ */
+class OooCore : public MemClient
+{
+  public:
+    /**
+     * @param core_id this core's index (routed through the hierarchy)
+     * @param params microarchitecture configuration
+     * @param workload instruction source (not owned)
+     * @param l1d first-level data cache (not owned)
+     * @param hermes Hermes controller (not owned; may be null)
+     */
+    OooCore(int core_id, CoreParams params, Workload *workload,
+            MemDevice *l1d, HermesController *hermes);
+
+    /** Advance one cycle: retire, issue loads, fetch/dispatch. */
+    void tick(Cycle now);
+
+    // MemClient: load data returned by the L1.
+    void returnData(const MemRequest &req) override;
+
+    int coreId() const { return coreId_; }
+    const CoreParams &params() const { return params_; }
+    const CoreStats &stats() const { return stats_; }
+    const BranchStats &branchStats() const { return branch_.stats(); }
+
+    /** Reset statistics (end of warmup), keeping learned state. */
+    void clearStats();
+
+    std::uint64_t instrsRetired() const { return stats_.instrsRetired; }
+
+  private:
+    enum class State : std::uint8_t
+    {
+        Empty,
+        WaitingDep,  ///< Blocked on an older instruction
+        Ready,       ///< Can execute / issue from readyAt
+        IssuedToMem, ///< Load in flight in the memory system
+        Done,
+    };
+
+    struct RobEntry
+    {
+        TraceInstr instr;
+        InstrId seq = 0;
+        State state = State::Empty;
+        Cycle readyAt = 0;     ///< Completion time for non-loads
+        Cycle issueAt = 0;     ///< Earliest L1 issue (loads)
+        std::uint64_t blockedCycles = 0;
+        PredMeta predMeta;
+        bool wentOffChip = false;
+        bool servedByHermes = false;
+        Cycle l1Issue = 0;
+        Cycle mcArrive = 0;
+        std::vector<InstrId> waiters;
+    };
+
+    RobEntry &entry(InstrId seq);
+    bool robFull() const { return nextSeq_ - headSeq_ >= params_.robSize; }
+    bool robEmpty() const { return nextSeq_ == headSeq_; }
+
+    void retire(Cycle now);
+    void issueLoads(Cycle now);
+    void dispatch(Cycle now);
+    void dispatchOne(const TraceInstr &instr, Cycle now);
+    /** Completion of a non-memory instruction or load: wake waiters. */
+    void wake(RobEntry &producer, Cycle now);
+    bool nonLoadComplete(const RobEntry &e, Cycle now) const;
+
+    int coreId_;
+    CoreParams params_;
+    Workload *workload_;
+    MemDevice *l1d_;
+    HermesController *hermes_;
+    BranchPredictor branch_;
+
+    std::vector<RobEntry> rob_;
+    InstrId headSeq_ = 1;
+    InstrId nextSeq_ = 1; ///< seq 0 reserved as "no dependence"
+    unsigned lqUsed_ = 0;
+    unsigned sqUsed_ = 0;
+    std::deque<InstrId> readyLoads_;
+    std::optional<TraceInstr> pendingFetch_;
+    Cycle fetchResumeAt_ = 0;
+    Cycle now_ = 0;
+    CoreStats stats_;
+};
+
+} // namespace hermes

@@ -1,0 +1,295 @@
+#include "dram/dram.hh"
+
+#include <algorithm>
+#include <cassert>
+
+namespace hermes
+{
+
+DramController::DramController(DramParams params) : params_(params)
+{
+    assert(params_.channels > 0);
+    channels_.resize(params_.channels);
+    const unsigned banks = params_.ranksPerChannel * params_.banksPerRank;
+    for (auto &ch : channels_)
+        ch.banks.resize(banks);
+}
+
+void
+DramController::setClient(int core_id, MemClient *client)
+{
+    if (clients_.size() <= static_cast<std::size_t>(core_id))
+        clients_.resize(core_id + 1, nullptr);
+    clients_[core_id] = client;
+}
+
+unsigned
+DramController::channelOf(Addr line) const
+{
+    return static_cast<unsigned>(line % params_.channels);
+}
+
+std::uint32_t
+DramController::bankOf(Addr line) const
+{
+    const Addr l = line / params_.channels;
+    const unsigned lines_per_row = params_.rowBufferBytes / kBlockSize;
+    const unsigned banks = params_.ranksPerChannel * params_.banksPerRank;
+    return static_cast<std::uint32_t>((l / lines_per_row) % banks);
+}
+
+std::uint64_t
+DramController::rowOf(Addr line) const
+{
+    const Addr l = line / params_.channels;
+    const unsigned lines_per_row = params_.rowBufferBytes / kBlockSize;
+    const unsigned banks = params_.ranksPerChannel * params_.banksPerRank;
+    return (l / lines_per_row) / banks;
+}
+
+bool
+DramController::addRead(const MemRequest &req)
+{
+    Channel &ch = channels_[channelOf(req.line())];
+
+    // Read-after-write forwarding from the write queue.
+    for (const auto &w : ch.wq) {
+        if (w.line == req.line()) {
+            ++stats_.wqForwards;
+            MemRequest resp = req;
+            resp.servedFrom = MemLevel::Dram;
+            resp.cycleMcArrive = now_;
+            const auto idx = static_cast<std::size_t>(req.coreId);
+            if (idx < clients_.size() && clients_[idx] != nullptr)
+                clients_[idx]->returnData(resp);
+            return true;
+        }
+    }
+
+    // Merge with an in-flight read (regular or Hermes) to the same line.
+    for (auto &e : ch.rq) {
+        if (e.line == req.line()) {
+            MemRequest w = req;
+            w.cycleMcArrive = now_;
+            if (e.hermesInitiated && e.hermesOnly)
+                w.servedByHermes = true;
+            e.waiters.push_back(w);
+            e.hermesOnly = false;
+            ++stats_.readMerges;
+            return true;
+        }
+    }
+
+    if (ch.rq.size() >= params_.rqSize)
+        return false;
+
+    ReadEntry e;
+    e.line = req.line();
+    e.bank = bankOf(req.line());
+    e.row = rowOf(req.line());
+    e.arrived = now_;
+    e.hermesOnly = false;
+    MemRequest w = req;
+    w.cycleMcArrive = now_;
+    e.waiters.push_back(w);
+    ch.rq.push_back(std::move(e));
+    return true;
+}
+
+bool
+DramController::addHermes(const MemRequest &req)
+{
+    Channel &ch = channels_[channelOf(req.line())];
+
+    // Already in flight (regular or another Hermes request): nothing to
+    // do, the data is on its way.
+    for (const auto &e : ch.rq) {
+        if (e.line == req.line()) {
+            ++stats_.hermesMergedIntoExisting;
+            return true;
+        }
+    }
+    if (ch.rq.size() >= params_.rqSize) {
+        ++stats_.hermesRejected;
+        return false;
+    }
+    ReadEntry e;
+    e.line = req.line();
+    e.bank = bankOf(req.line());
+    e.row = rowOf(req.line());
+    e.arrived = now_;
+    e.hermesOnly = true;
+    e.hermesInitiated = true;
+    ch.rq.push_back(std::move(e));
+    ++stats_.hermesIssued;
+    return true;
+}
+
+bool
+DramController::addWrite(const MemRequest &req)
+{
+    Channel &ch = channels_[channelOf(req.line())];
+    // Soft-bounded like the cache write path; pressure shows up through
+    // drain mode stealing read bandwidth.
+    WriteEntry w;
+    w.line = req.line();
+    w.bank = bankOf(req.line());
+    w.row = rowOf(req.line());
+    w.arrived = req.cycleCreated;
+    ch.wq.push_back(w);
+    return true;
+}
+
+Cycle
+DramController::access(Channel &ch, std::uint32_t bank, std::uint64_t row,
+                       Cycle now)
+{
+    Bank &b = ch.banks[bank];
+    const Cycle start = std::max(now, b.readyAt);
+    // CAS latency is pipelined: consecutive column reads to an open row
+    // are spaced by the data burst (tCCD), not by tCAS. Activation and
+    // precharge do occupy the bank.
+    Cycle latency;      // command-to-data latency
+    Cycle bank_busy;    // cycles the bank cannot accept a new command
+    if (b.open && b.row == row) {
+        latency = params_.tCas;
+        bank_busy = params_.busCyclesPerLine();
+        ++stats_.rowHits;
+    } else if (!b.open) {
+        latency = params_.tRcd + params_.tCas;
+        bank_busy = params_.tRcd + params_.busCyclesPerLine();
+        ++stats_.rowMisses;
+    } else {
+        latency = params_.tRp + params_.tRcd + params_.tCas;
+        bank_busy = params_.tRp + params_.tRcd +
+                    params_.busCyclesPerLine();
+        ++stats_.rowConflicts;
+    }
+    b.open = true;
+    b.row = row;
+
+    // Data transfer occupies the shared channel bus.
+    const Cycle data_start = std::max(start + latency, ch.busFreeAt);
+    const Cycle finish = data_start + params_.busCyclesPerLine();
+    ch.busFreeAt = finish;
+    b.readyAt = start + bank_busy +
+                (data_start - (start + latency)); // inherit bus backlog
+    return finish;
+}
+
+void
+DramController::scheduleReads(Channel &ch, Cycle now)
+{
+    // FR-FCFS: prefer the oldest row-hit among ready banks, else the
+    // oldest request whose bank is ready.
+    auto ready = [&](const ReadEntry &e) {
+        return e.state == State::Queued && ch.banks[e.bank].readyAt <= now;
+    };
+    ReadEntry *pick = nullptr;
+    for (auto &e : ch.rq) {
+        if (!ready(e))
+            continue;
+        const Bank &b = ch.banks[e.bank];
+        const bool row_hit = b.open && b.row == e.row;
+        if (row_hit) {
+            pick = &e;
+            break;
+        }
+        if (pick == nullptr)
+            pick = &e;
+    }
+    if (pick == nullptr)
+        return;
+    pick->state = State::Issued;
+    pick->finishAt = access(ch, pick->bank, pick->row, now);
+}
+
+void
+DramController::scheduleWrites(Channel &ch, Cycle now)
+{
+    auto it = std::find_if(ch.wq.begin(), ch.wq.end(), [&](const auto &w) {
+        return w.state == State::Queued && ch.banks[w.bank].readyAt <= now;
+    });
+    if (it == ch.wq.end())
+        return;
+    it->state = State::Issued;
+    it->finishAt = access(ch, it->bank, it->row, now);
+}
+
+void
+DramController::completeReads(Channel &ch, Cycle now)
+{
+    for (auto it = ch.rq.begin(); it != ch.rq.end();) {
+        if (it->state != State::Issued || it->finishAt > now) {
+            ++it;
+            continue;
+        }
+        // Account the serviced read once, by its originating class.
+        if (it->hermesInitiated)
+            ++stats_.hermesReads;
+        else if (!it->waiters.empty() &&
+                 it->waiters.front().type == AccessType::Prefetch)
+            ++stats_.prefetchReads;
+        else
+            ++stats_.demandReads;
+
+        if (it->hermesInitiated) {
+            if (it->waiters.empty())
+                ++stats_.hermesDropped; // §6.2.2: drop, no cache fill.
+            else
+                ++stats_.hermesUseful;
+        }
+        for (MemRequest w : it->waiters) {
+            w.servedFrom = MemLevel::Dram;
+            const auto idx = static_cast<std::size_t>(w.coreId);
+            if (idx < clients_.size() && clients_[idx] != nullptr)
+                clients_[idx]->returnData(w);
+        }
+        it = ch.rq.erase(it);
+    }
+    for (auto it = ch.wq.begin(); it != ch.wq.end();) {
+        if (it->state == State::Issued && it->finishAt <= now) {
+            ++stats_.writes;
+            it = ch.wq.erase(it);
+        } else {
+            ++it;
+        }
+    }
+}
+
+void
+DramController::tick(Cycle now)
+{
+    now_ = now;
+    for (auto &ch : channels_) {
+        if (ch.rq.empty() && ch.wq.empty())
+            continue;
+        completeReads(ch, now);
+
+        // Write drain hysteresis: start draining when the WQ is deep or
+        // reads are absent; stop when it has mostly emptied.
+        if (ch.wq.size() >= params_.wqSize * 7 / 8 ||
+            (ch.rq.empty() && !ch.wq.empty()))
+            ch.drainingWrites = true;
+        // Leave drain mode quickly once pressure eases so reads are
+        // not starved behind long write bursts.
+        if (ch.wq.empty() ||
+            (ch.wq.size() <= params_.wqSize / 2 && !ch.rq.empty()))
+            ch.drainingWrites = false;
+
+        if (ch.drainingWrites)
+            scheduleWrites(ch, now);
+        else
+            scheduleReads(ch, now);
+    }
+}
+
+bool
+DramController::probeRead(Addr line) const
+{
+    const Channel &ch = channels_[channelOf(line)];
+    return std::any_of(ch.rq.begin(), ch.rq.end(),
+                       [line](const auto &e) { return e.line == line; });
+}
+
+} // namespace hermes

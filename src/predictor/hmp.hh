@@ -1,0 +1,66 @@
+#pragma once
+
+/**
+ * @file
+ * HMP: the hit-miss predictor of Yoaz et al. (ISCA'99), extended per the
+ * paper's footnote 3 to predict misses of the *entire* hierarchy
+ * (off-chip loads) rather than L1 misses. HMP combines three component
+ * predictors in the style of a hybrid branch predictor — local, gshare
+ * and gskew — and takes the majority of their three predictions
+ * (paper §7.2). Each component is a table of saturating counters
+ * trained with the true off-chip outcome.
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+#include "predictor/offchip_pred.hh"
+
+namespace hermes
+{
+
+/** Sizing parameters (defaults give the paper's ~11KB budget). */
+struct HmpParams
+{
+    std::uint32_t localHistories = 2048;  ///< Per-PC history registers
+    unsigned localHistoryBits = 10;
+    std::uint32_t localCounters = 8192;   ///< Pattern table
+    std::uint32_t gshareCounters = 8192;
+    unsigned globalHistoryBits = 12;
+    std::uint32_t gskewCounters = 8192;   ///< Per skewed bank
+    unsigned counterBits = 2;
+};
+
+/** Hybrid local/gshare/gskew off-chip predictor. */
+class Hmp : public OffChipPredictor
+{
+  public:
+    explicit Hmp(HmpParams params = HmpParams{});
+
+    const char *name() const override { return "hmp"; }
+    bool predict(Addr pc, Addr vaddr, PredMeta &meta) override;
+    void train(Addr pc, Addr vaddr, const PredMeta &meta,
+               bool went_off_chip) override;
+    std::uint64_t storageBits() const override;
+
+  private:
+    bool counterTaken(std::uint8_t c) const;
+    void bump(std::uint8_t &c, bool up);
+
+    std::uint32_t localIndex(Addr pc) const;
+    std::uint32_t localPatternIndex(Addr pc) const;
+    std::uint32_t gshareIndex(Addr pc) const;
+    std::uint32_t gskewIndex(unsigned bank, Addr pc) const;
+
+    HmpParams params_;
+    std::uint8_t counterMax_;
+
+    std::vector<std::uint16_t> localHistory_;
+    std::vector<std::uint8_t> localPattern_;
+    std::vector<std::uint8_t> gshare_;
+    std::vector<std::uint8_t> gskew_[3];
+    std::uint32_t globalHistory_ = 0;
+};
+
+} // namespace hermes

@@ -1,0 +1,4 @@
+#include "predictor/ideal.hh"
+
+// IdealPredictor is header-only; this translation unit anchors it in
+// the library so the build layout stays uniform.

@@ -1,0 +1,54 @@
+#pragma once
+
+/**
+ * @file
+ * The Ideal off-chip predictor (paper §3.1, "Ideal Hermes"): an oracle
+ * that knows with perfect accuracy and coverage whether a load will be
+ * serviced by DRAM. It is realised by probing the actual hierarchy
+ * state through a callback installed by the System.
+ */
+
+#include <functional>
+
+#include "common/types.hh"
+#include "predictor/offchip_pred.hh"
+
+namespace hermes
+{
+
+/** Oracle predictor backed by a hierarchy-presence probe. */
+class IdealPredictor : public OffChipPredictor
+{
+  public:
+    using Probe = std::function<bool(Addr line)>;
+
+    /** @param resident returns true iff the line is on-chip. */
+    explicit IdealPredictor(Probe resident)
+        : resident_(std::move(resident))
+    {
+    }
+
+    const char *name() const override { return "ideal"; }
+
+    bool
+    predict(Addr pc, Addr vaddr, PredMeta &meta) override
+    {
+        (void)pc;
+        meta = PredMeta{};
+        meta.predictedOffChip = !resident_(lineAddr(vaddr));
+        meta.valid = true;
+        return meta.predictedOffChip;
+    }
+
+    void
+    train(Addr, Addr, const PredMeta &, bool) override
+    {
+    }
+
+    std::uint64_t storageBits() const override { return 0; }
+
+  private:
+    Probe resident_;
+};
+
+} // namespace hermes

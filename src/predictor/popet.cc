@@ -1,0 +1,236 @@
+#include "predictor/popet.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+
+namespace hermes
+{
+
+namespace
+{
+
+/** Cheap 64->32 bit mixer used to hash feature values into tables. */
+std::uint32_t
+hashFeature(std::uint64_t x)
+{
+    x ^= x >> 33;
+    x *= 0xFF51AFD7ED558CCDull;
+    x ^= x >> 33;
+    x *= 0xC4CEB9FE1A85EC53ull;
+    x ^= x >> 33;
+    return static_cast<std::uint32_t>(x);
+}
+
+int
+scaleThreshold(int threshold, unsigned active, unsigned total)
+{
+    if (active == total)
+        return threshold;
+    const double scaled = static_cast<double>(threshold) *
+                          static_cast<double>(active) /
+                          static_cast<double>(total);
+    return static_cast<int>(std::lround(scaled));
+}
+
+} // namespace
+
+Popet::Popet(PopetParams params)
+    : params_(params), pageBuffer_(params.pageBufferEntries)
+{
+    assert(params_.weightBits >= 2 && params_.weightBits <= 8);
+    for (unsigned f = 0; f < kPopetFeatureCount; ++f)
+        weights_[f].assign(kTableSizes[f], 0);
+    const unsigned active = activeFeatureCount();
+    assert(active > 0 && "POPET needs at least one feature");
+    tauActScaled_ = scaleThreshold(params_.activationThreshold, active,
+                                   kPopetFeatureCount);
+    tnScaled_ = scaleThreshold(params_.trainingThresholdNeg, active,
+                               kPopetFeatureCount);
+    tpScaled_ = scaleThreshold(params_.trainingThresholdPos, active,
+                               kPopetFeatureCount);
+}
+
+unsigned
+Popet::activeFeatureCount() const
+{
+    unsigned n = 0;
+    for (unsigned f = 0; f < kPopetFeatureCount; ++f)
+        if (params_.featureMask & (1u << f))
+            ++n;
+    return n;
+}
+
+bool
+Popet::firstAccessHint(Addr vaddr)
+{
+    const Addr page = pageNumber(vaddr);
+    const std::uint64_t bit = 1ull << lineOffsetInPage(vaddr);
+    ++pageBufferClock_;
+
+    PageBufferEntry *lru = nullptr;
+    for (auto &e : pageBuffer_) {
+        if (e.valid && e.pageTag == page) {
+            e.lastUse = pageBufferClock_;
+            const bool first = (e.bitmap & bit) == 0;
+            e.bitmap |= bit;
+            return first;
+        }
+        // Track the replacement candidate: any invalid entry wins,
+        // otherwise the least recently used valid entry.
+        if (lru == nullptr || (!e.valid && lru->valid) ||
+            (e.valid == lru->valid && e.lastUse < lru->lastUse))
+            lru = &e;
+    }
+    // Miss: allocate over the LRU (or an invalid) entry. The line has
+    // not been seen in the tracked window -> first access.
+    lru->valid = true;
+    lru->pageTag = page;
+    lru->bitmap = bit;
+    lru->lastUse = pageBufferClock_;
+    return true;
+}
+
+std::uint32_t
+Popet::featureIndex(unsigned feature, Addr pc, Addr vaddr,
+                    bool first_access) const
+{
+    std::uint64_t raw = 0;
+    switch (feature) {
+      case kFeatPcXorLineOffset:
+        raw = pc ^ (static_cast<std::uint64_t>(lineOffsetInPage(vaddr))
+                    << 1);
+        break;
+      case kFeatPcXorByteOffset:
+        raw = pc ^ (static_cast<std::uint64_t>(byteOffsetInLine(vaddr))
+                    << 1) ^ 0xABCDull;
+        break;
+      case kFeatPcFirstAccess:
+        raw = (pc << 1) | static_cast<std::uint64_t>(first_access);
+        break;
+      case kFeatOffsetFirstAccess:
+        raw = (static_cast<std::uint64_t>(lineOffsetInPage(vaddr)) << 1) |
+              static_cast<std::uint64_t>(first_access);
+        break;
+      case kFeatLast4LoadPcs: {
+        raw = (lastLoadPcs_[0] << 3) ^ (lastLoadPcs_[1] << 2) ^
+              (lastLoadPcs_[2] << 1) ^ lastLoadPcs_[3];
+        break;
+      }
+      default:
+        assert(false && "bad feature id");
+    }
+    return hashFeature(raw + feature * 0x9E3779B9ull) &
+           (kTableSizes[feature] - 1);
+}
+
+bool
+Popet::predict(Addr pc, Addr vaddr, PredMeta &meta)
+{
+    const bool first_access = firstAccessHint(vaddr);
+
+    int sum = 0;
+    meta = PredMeta{};
+    for (unsigned f = 0; f < kPopetFeatureCount; ++f) {
+        if (!(params_.featureMask & (1u << f)))
+            continue;
+        const std::uint32_t idx = featureIndex(f, pc, vaddr, first_access);
+        // Pack the feature id with the index so training can address
+        // the right table without recomputing hashes.
+        meta.index[meta.indexCount++] = (f << 16) | idx;
+        sum += weights_[f][idx];
+    }
+    meta.sum = static_cast<std::int16_t>(sum);
+    meta.predictedOffChip = sum >= tauActScaled_;
+    meta.valid = true;
+
+    // Shift the load-PC history (most recent first).
+    lastLoadPcs_[3] = lastLoadPcs_[2];
+    lastLoadPcs_[2] = lastLoadPcs_[1];
+    lastLoadPcs_[1] = lastLoadPcs_[0];
+    lastLoadPcs_[0] = pc;
+
+    return meta.predictedOffChip;
+}
+
+namespace
+{
+/// Optional diagnostic: per-PC confusion counters (set POPET_DEBUG=1).
+struct PcDebug
+{
+    std::map<Addr, std::array<std::uint64_t, 4>> counts;
+    ~PcDebug()
+    {
+        for (auto &[pc, c] : counts)
+            std::fprintf(stderr,
+                         "popet pc %llx tp %llu fp %llu fn %llu tn %llu\n",
+                         (unsigned long long)pc, (unsigned long long)c[0],
+                         (unsigned long long)c[1], (unsigned long long)c[2],
+                         (unsigned long long)c[3]);
+    }
+};
+PcDebug *pcDebug()
+{
+    static PcDebug d;
+    return std::getenv("POPET_DEBUG") ? &d : nullptr;
+}
+} // namespace
+
+void
+Popet::train(Addr pc, Addr vaddr, const PredMeta &meta, bool went_off_chip)
+{
+    (void)vaddr;
+    if (!meta.valid)
+        return;
+    if (auto *d = pcDebug()) {
+        auto &c = d->counts[pc];
+        if (meta.predictedOffChip && went_off_chip) ++c[0];
+        else if (meta.predictedOffChip) ++c[1];
+        else if (went_off_chip) ++c[2];
+        else ++c[3];
+    }
+    // Saturation check (paper §6.1.2): only adjust weights when the sum
+    // was within [T_N, T_P]; optionally also on a misprediction.
+    const bool within =
+        meta.sum >= tnScaled_ && meta.sum <= tpScaled_;
+    const bool mispredict = meta.predictedOffChip != went_off_chip;
+    if (!within && !(params_.trainOnMispredict && mispredict))
+        return;
+
+    const int wmax = (1 << (params_.weightBits - 1)) - 1;
+    const int wmin = -(1 << (params_.weightBits - 1));
+    for (unsigned i = 0; i < meta.indexCount; ++i) {
+        const unsigned f = meta.index[i] >> 16;
+        const std::uint32_t idx = meta.index[i] & 0xFFFFu;
+        std::int8_t &w = weights_[f][idx];
+        if (went_off_chip)
+            w = static_cast<std::int8_t>(std::min<int>(w + 1, wmax));
+        else
+            w = static_cast<std::int8_t>(std::max<int>(w - 1, wmin));
+    }
+}
+
+int
+Popet::weightAt(unsigned feature, std::uint32_t index) const
+{
+    return weights_.at(feature).at(index);
+}
+
+std::uint64_t
+Popet::storageBits() const
+{
+    std::uint64_t bits = 0;
+    for (unsigned f = 0; f < kPopetFeatureCount; ++f)
+        if (params_.featureMask & (1u << f))
+            bits += static_cast<std::uint64_t>(kTableSizes[f]) *
+                    params_.weightBits;
+    // Page buffer: 64 entries x (page tag + 64-bit bitmap) = 64 x 80b
+    // using the paper's 16-bit page tags.
+    bits += static_cast<std::uint64_t>(pageBuffer_.size()) * 80;
+    return bits;
+}
+
+} // namespace hermes

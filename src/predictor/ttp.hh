@@ -1,0 +1,69 @@
+#pragma once
+
+/**
+ * @file
+ * TTP: the address tag-tracking off-chip predictor the paper designs as
+ * a comparison point (§4, §7.2), inspired by D2D/D2M/LP/MissMap. TTP
+ * keeps a set-associative table of partial tags of cache lines believed
+ * to be resident in the on-chip hierarchy: tags are inserted when a
+ * line is filled from DRAM and removed when the LLC evicts the line. A
+ * load whose tag is absent is predicted to go off-chip.
+ *
+ * Its weaknesses emerge naturally: lines still resident in L1/L2 after
+ * an LLC eviction, in-flight fills and partial-tag aliasing all cause
+ * mispredictions, reproducing the paper's high-coverage / low-accuracy
+ * result (Fig. 9) despite a metadata budget similar to the L2 (1.5MB,
+ * Table 6).
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+#include "predictor/offchip_pred.hh"
+
+namespace hermes
+{
+
+/** TTP sizing: defaults give the paper's ~1.5MB budget. */
+struct TtpParams
+{
+    std::uint32_t sets = 1u << 16;
+    std::uint32_t ways = 11;
+    unsigned tagBits = 16;
+};
+
+/** Tag-tracking off-chip predictor. */
+class Ttp : public OffChipPredictor
+{
+  public:
+    explicit Ttp(TtpParams params = TtpParams{});
+
+    const char *name() const override { return "ttp"; }
+    bool predict(Addr pc, Addr vaddr, PredMeta &meta) override;
+    void train(Addr pc, Addr vaddr, const PredMeta &meta,
+               bool went_off_chip) override;
+    void onFillFromDram(Addr line) override;
+    void onLlcEviction(Addr line) override;
+    std::uint64_t storageBits() const override;
+
+    /** Test hook: is a line currently tracked as resident? */
+    bool tracked(Addr line) const;
+
+  private:
+    struct Entry
+    {
+        std::uint16_t tag = 0;
+        std::uint32_t lastUse = 0;
+        bool valid = false;
+    };
+
+    std::uint32_t setOf(Addr line) const;
+    std::uint16_t tagOf(Addr line) const;
+
+    TtpParams params_;
+    std::vector<Entry> table_;
+    std::uint32_t clock_ = 0;
+};
+
+} // namespace hermes

@@ -1,0 +1,77 @@
+#pragma once
+
+/**
+ * @file
+ * Bingo spatial prefetcher (Bakhshalipour et al., HPCA'19): learns the
+ * footprints of 2KB regions and replays them when a region is
+ * re-triggered, using a "PC+Address" event for high precision with a
+ * "PC+Offset" fallback for generalisation — both stored in one history
+ * table as in the original design (Table 6 budget: 46KB).
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+#include "prefetch/prefetcher.hh"
+
+namespace hermes
+{
+
+/** Bingo parameters. */
+struct BingoParams
+{
+    unsigned regionBytes = 2048;
+    std::uint32_t accumEntries = 64;
+    std::uint32_t historySets = 512;
+    unsigned historyWays = 8;
+    unsigned maxPrefetchPerTrigger = 16;
+};
+
+/** Footprint-replay spatial prefetcher. */
+class Bingo : public Prefetcher
+{
+  public:
+    explicit Bingo(BingoParams params = BingoParams{});
+
+    const char *name() const override { return "bingo"; }
+    void onAccess(Addr addr, Addr pc, bool hit,
+                  std::vector<Addr> &out_lines) override;
+    std::uint64_t storageBits() const override;
+
+  private:
+    struct AccumEntry
+    {
+        Addr region = 0;
+        Addr triggerPc = 0;
+        unsigned triggerOffset = 0;
+        std::uint64_t footprint = 0;
+        std::uint64_t lastUse = 0;
+        bool valid = false;
+    };
+
+    struct HistEntry
+    {
+        std::uint64_t keyAddr = 0;   ///< PC+Address key
+        std::uint32_t keyOffset = 0; ///< PC+Offset key
+        std::uint64_t footprint = 0;
+        std::uint64_t lastUse = 0;
+        bool valid = false;
+    };
+
+    unsigned linesPerRegion() const { return params_.regionBytes / kBlockSize; }
+    Addr regionOf(Addr addr) const { return addr / params_.regionBytes; }
+    unsigned offsetInRegion(Addr addr) const;
+    std::uint64_t keyAddr(Addr pc, Addr region, unsigned offset) const;
+    std::uint32_t keyOffset(Addr pc, unsigned offset) const;
+    void commitToHistory(const AccumEntry &e);
+    /** Predict footprint for a trigger; 0 when unknown. */
+    std::uint64_t lookupHistory(Addr pc, Addr region, unsigned offset);
+
+    BingoParams params_;
+    std::vector<AccumEntry> accum_;
+    std::vector<HistEntry> history_;
+    std::uint64_t clock_ = 0;
+};
+
+} // namespace hermes

@@ -1,0 +1,70 @@
+#pragma once
+
+/**
+ * @file
+ * MLOP: Multi-Lookahead Offset Prefetching (Shakerinava et al., DPC-3
+ * 2019). Candidate offsets are scored against an access map of
+ * recently-touched lines; instead of a single best offset (BOP), MLOP
+ * maintains one best offset per lookahead level, prefetching several
+ * offsets at once. This implementation keeps the structure of the
+ * original — per-zone access maps, an evaluation round over candidate
+ * offsets, per-level selection — with a simplified timing of rounds.
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+#include "prefetch/prefetcher.hh"
+
+namespace hermes
+{
+
+/** MLOP parameters. */
+struct MlopParams
+{
+    std::uint32_t mapEntries = 128; ///< Tracked 4KB zones
+    int maxOffset = 31;             ///< Candidate offsets in [-max, max]
+    unsigned levels = 3;            ///< Lookahead levels = live offsets
+    unsigned roundLength = 256;     ///< Accesses per evaluation round
+    unsigned scoreThreshold = 24;   ///< Min score to activate an offset
+};
+
+/** Multi-lookahead offset prefetcher. */
+class Mlop : public Prefetcher
+{
+  public:
+    explicit Mlop(MlopParams params = MlopParams{});
+
+    const char *name() const override { return "mlop"; }
+    void onAccess(Addr addr, Addr pc, bool hit,
+                  std::vector<Addr> &out_lines) override;
+    std::uint64_t storageBits() const override;
+
+    /** Currently active offsets (testing hook). */
+    const std::vector<int> &activeOffsets() const { return active_; }
+
+  private:
+    struct Zone
+    {
+        Addr zone = 0;              ///< 4KB-aligned zone number
+        std::uint64_t bitmap = 0;   ///< Accessed lines in the zone
+        std::uint64_t lastUse = 0;
+        bool valid = false;
+    };
+
+    /** Was (line) recently accessed according to the maps? */
+    bool wasAccessed(Addr line) const;
+    Zone &zoneFor(Addr line);
+    void finishRound();
+
+    MlopParams params_;
+    std::vector<Zone> zones_;
+    std::vector<int> candidateOffsets_;
+    std::vector<std::uint32_t> scores_;
+    std::vector<int> active_;
+    unsigned accessesThisRound_ = 0;
+    std::uint64_t clock_ = 0;
+};
+
+} // namespace hermes

@@ -1,0 +1,106 @@
+#pragma once
+
+/**
+ * @file
+ * Hardware data-prefetcher interface. Prefetchers sit at the LLC
+ * (matching the paper's configuration, Table 4): the cache invokes the
+ * prefetcher on every demand access and feeds back fill/usefulness
+ * events so learning prefetchers (SPP+PPF, Pythia) can assign credit.
+ */
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace hermes
+{
+
+/** Aggregate prefetcher statistics. */
+struct PrefetcherStats
+{
+    std::uint64_t issued = 0;  ///< Prefetch lines handed to the cache
+    std::uint64_t useful = 0;  ///< Prefetched lines later hit by demand
+    std::uint64_t useless = 0; ///< Prefetched lines evicted untouched
+};
+
+/**
+ * A hardware prefetcher attached to one cache. Addresses exchanged with
+ * the prefetcher are full byte addresses; prefetch candidates are
+ * returned as cache-line addresses.
+ */
+class Prefetcher
+{
+  public:
+    virtual ~Prefetcher() = default;
+
+    virtual const char *name() const = 0;
+
+    /**
+     * A demand access (Load/Rfo) was looked up in the cache.
+     *
+     * @param addr byte address of the access
+     * @param pc PC of the triggering instruction
+     * @param hit whether the lookup hit
+     * @param out_lines line addresses the prefetcher wants fetched
+     */
+    virtual void onAccess(Addr addr, Addr pc, bool hit,
+                          std::vector<Addr> &out_lines) = 0;
+
+    /** A prefetched line was filled into the cache. */
+    virtual void onPrefetchFill(Addr line) { (void)line; }
+
+    /** A demand access hit a line this prefetcher brought in. */
+    virtual void onPrefetchUseful(Addr line, Addr pc)
+    {
+        (void)line;
+        (void)pc;
+    }
+
+    /**
+     * A demand access merged into this prefetcher's still-in-flight
+     * fetch: accurate but late. Defaults to the useful feedback.
+     */
+    virtual void onPrefetchLate(Addr line, Addr pc)
+    {
+        onPrefetchUseful(line, pc);
+    }
+
+    /** A prefetched line was evicted without ever being used. */
+    virtual void onPrefetchUseless(Addr line) { (void)line; }
+
+    /** Metadata storage in bits (Table 6 accounting). */
+    virtual std::uint64_t storageBits() const = 0;
+
+    PrefetcherStats &stats() { return stats_; }
+    const PrefetcherStats &stats() const { return stats_; }
+
+  protected:
+    PrefetcherStats stats_;
+};
+
+/** Known prefetcher kinds (Table 6 plus a simple streamer baseline). */
+enum class PrefetcherKind : std::uint8_t
+{
+    None,
+    Streamer,
+    Spp,
+    Bingo,
+    Mlop,
+    Sms,
+    Pythia,
+};
+
+/** Instantiate a prefetcher; returns nullptr for None. */
+std::unique_ptr<Prefetcher> makePrefetcher(PrefetcherKind kind,
+                                           std::uint64_t seed = 1);
+
+/** Parse a prefetcher name ("none", "streamer", "spp", ...). */
+PrefetcherKind prefetcherKindFromString(const std::string &name);
+
+/** Printable name for a kind. */
+const char *prefetcherKindName(PrefetcherKind kind);
+
+} // namespace hermes

@@ -1,0 +1,213 @@
+#include "prefetch/pythia.hh"
+
+#include <algorithm>
+
+namespace hermes
+{
+
+namespace
+{
+
+std::uint32_t
+mix32(std::uint64_t x)
+{
+    x ^= x >> 33;
+    x *= 0xFF51AFD7ED558CCDull;
+    x ^= x >> 29;
+    return static_cast<std::uint32_t>(x);
+}
+
+} // namespace
+
+const std::array<int, 16> Pythia::kActions = {
+    0, 1, 2, 3, 4, 5, 6, 8, 10, 12, 16, 24, -1, -2, -3, -6,
+};
+
+Pythia::Pythia(PythiaParams params)
+    : params_(params), rng_(params.seed),
+      table1_(params.tableEntries), table2_(params.tableEntries)
+{
+    for (auto &row : table1_)
+        row.fill(0.0f);
+    for (auto &row : table2_)
+        row.fill(0.0f);
+}
+
+double
+Pythia::qValue(std::uint32_t phi1, std::uint32_t phi2,
+               unsigned action) const
+{
+    return 0.5 * (table1_[phi1][action] + table2_[phi2][action]);
+}
+
+void
+Pythia::updateQ(std::uint32_t phi1, std::uint32_t phi2, unsigned action,
+                double target)
+{
+    const double q = qValue(phi1, phi2, action);
+    const double delta = params_.alpha * (target - q);
+    table1_[phi1][action] += static_cast<float>(delta);
+    table2_[phi2][action] += static_cast<float>(delta);
+}
+
+unsigned
+Pythia::selectAction(std::uint32_t phi1, std::uint32_t phi2)
+{
+    if (rng_.chance(params_.epsilon))
+        return static_cast<unsigned>(rng_.below(kActions.size()));
+    unsigned best = 0;
+    double best_q = qValue(phi1, phi2, 0);
+    for (unsigned a = 1; a < kActions.size(); ++a) {
+        const double q = qValue(phi1, phi2, a);
+        if (q > best_q) {
+            best_q = q;
+            best = a;
+        }
+    }
+    return best;
+}
+
+void
+Pythia::assignReward(EqEntry &e, int reward)
+{
+    if (e.rewarded)
+        return;
+    e.rewarded = true;
+    // One-step bootstrap: the value of the greedy action in the most
+    // recent state stands in for the successor state's value.
+    double bootstrap = 0.0;
+    if (havePrev_) {
+        double best = qValue(lastPhi1_, lastPhi2_, 0);
+        for (unsigned a = 1; a < kActions.size(); ++a)
+            best = std::max(best, qValue(lastPhi1_, lastPhi2_, a));
+        bootstrap = params_.gamma * best;
+    }
+    updateQ(e.phi1, e.phi2, e.action, reward + bootstrap);
+}
+
+void
+Pythia::retireEqOverflow()
+{
+    while (eq_.size() > params_.eqSize) {
+        EqEntry &e = eq_.front();
+        if (!e.rewarded) {
+            const int reward = kActions[e.action] == 0
+                                   ? params_.rewardNoPrefetch
+                                   : params_.rewardInaccurate;
+            assignReward(e, reward);
+        }
+        eq_.pop_front();
+    }
+}
+
+int
+Pythia::pageLocalDelta(Addr line)
+{
+    const Addr page = line / kBlocksPerPage;
+    const int offset = static_cast<int>(line % kBlocksPerPage);
+    ++pageClock_;
+    PageCtx *lru = &pages_.front();
+    for (auto &p : pages_) {
+        if (p.valid && p.page == page) {
+            const int delta = offset - p.lastOffset;
+            p.lastOffset = offset;
+            p.lastUse = pageClock_;
+            return delta;
+        }
+        if (!p.valid || p.lastUse < lru->lastUse)
+            lru = &p;
+    }
+    *lru = PageCtx{};
+    lru->valid = true;
+    lru->page = page;
+    lru->lastOffset = offset;
+    lru->lastUse = pageClock_;
+    return 0;
+}
+
+void
+Pythia::onAccess(Addr addr, Addr pc, bool hit, std::vector<Addr> &out_lines)
+{
+    (void)hit;
+    const Addr line = lineAddr(addr);
+    const int delta = pageLocalDelta(line);
+
+    // State features (hashed-perceptron style).
+    const std::uint32_t phi1 =
+        mix32((pc << 7) ^ static_cast<std::uint64_t>(delta + 64)) &
+        (params_.tableEntries - 1);
+    const std::uint64_t offset_sig =
+        (static_cast<std::uint64_t>(lastOffsets_[0]) << 18) ^
+        (static_cast<std::uint64_t>(lastOffsets_[1]) << 12) ^
+        (static_cast<std::uint64_t>(lastOffsets_[2]) << 6) ^
+        lastOffsets_[3];
+    const std::uint32_t phi2 =
+        mix32(offset_sig * 0x9E3779B9ull) & (params_.tableEntries - 1);
+
+    const unsigned action = selectAction(phi1, phi2);
+    const int offset = kActions[action];
+
+    EqEntry e;
+    e.phi1 = phi1;
+    e.phi2 = phi2;
+    e.action = action;
+    if (offset != 0) {
+        const std::int64_t target = static_cast<std::int64_t>(line) + offset;
+        // Stay within the page, like Pythia's address space scope.
+        if (target >= 0 && static_cast<Addr>(target) / kBlocksPerPage ==
+                               line / kBlocksPerPage) {
+            e.line = static_cast<Addr>(target);
+            out_lines.push_back(e.line);
+        }
+    }
+    eq_.push_back(e);
+    retireEqOverflow();
+
+    // Advance program-context state.
+    lastPhi1_ = phi1;
+    lastPhi2_ = phi2;
+    lastLine_ = line;
+    havePrev_ = true;
+    lastOffsets_[3] = lastOffsets_[2];
+    lastOffsets_[2] = lastOffsets_[1];
+    lastOffsets_[1] = lastOffsets_[0];
+    lastOffsets_[0] = static_cast<std::uint8_t>(lineOffsetInPage(addr));
+}
+
+void
+Pythia::onPrefetchUseful(Addr line, Addr pc)
+{
+    (void)pc;
+    for (auto &e : eq_) {
+        if (!e.rewarded && e.line == line) {
+            assignReward(e, params_.rewardAccurate);
+            return;
+        }
+    }
+}
+
+void
+Pythia::onPrefetchLate(Addr line, Addr pc)
+{
+    (void)pc;
+    // Accurate-but-late earns less than timely (R_AL < R_AT), steering
+    // the policy toward longer prefetch distances.
+    for (auto &e : eq_) {
+        if (!e.rewarded && e.line == line) {
+            assignReward(e, params_.rewardAccurateLate);
+            return;
+        }
+    }
+}
+
+std::uint64_t
+Pythia::storageBits() const
+{
+    // QVStore: two tables x entries x actions x 6-bit quantised Q
+    // values (floats here are an implementation convenience), plus the
+    // EQ (line tag 40b + features 20b + action 4b).
+    return 2ull * params_.tableEntries * kActions.size() * 6 +
+           static_cast<std::uint64_t>(params_.eqSize) * 64;
+}
+
+} // namespace hermes

@@ -1,0 +1,112 @@
+#pragma once
+
+/**
+ * @file
+ * Pythia: the reinforcement-learning prefetching framework of Bera et
+ * al. (MICRO'21), the paper's baseline prefetcher (Table 4). Pythia
+ * formulates prefetching as a contextual decision: a *state* is a
+ * vector of program features, *actions* are prefetch offsets, and a
+ * *reward* scores the usefulness of the prefetch after the fact.
+ *
+ * This implementation keeps Pythia's architecture — a QVStore holding
+ * per-feature Q-value tables (hashed like a perceptron), an evaluation
+ * queue (EQ) that defers reward assignment until the outcome is known,
+ * epsilon-greedy exploration — with one documented simplification: the
+ * temporal-difference bootstrap term uses a one-step lookup with a
+ * small discount rather than the full SARSA pipeline.
+ *
+ * Features (the two-feature configuration the Pythia paper selects):
+ *   phi1 = PC (+) last delta, phi2 = sequence of last-4 offsets.
+ * Storage budget follows Table 6 (25.5KB).
+ */
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "common/rng.hh"
+#include "common/types.hh"
+#include "prefetch/prefetcher.hh"
+
+namespace hermes
+{
+
+/** Pythia parameters. */
+struct PythiaParams
+{
+    std::uint32_t tableEntries = 1024; ///< Per feature
+    double alpha = 0.25;   ///< Learning rate
+    double gamma = 0.0;    ///< Discount for the (optional) bootstrap term
+    double epsilon = 0.002; ///< Exploration probability
+    int rewardAccurate = 20;      ///< Accurate and timely (R_AT)
+    int rewardAccurateLate = 12;  ///< Accurate but late (R_AL)
+    int rewardInaccurate = -14;
+    int rewardNoPrefetch = -2;
+    std::uint32_t eqSize = 256;
+    std::uint64_t seed = 7;
+};
+
+/** RL-based prefetcher. */
+class Pythia : public Prefetcher
+{
+  public:
+    explicit Pythia(PythiaParams params = PythiaParams{});
+
+    const char *name() const override { return "pythia"; }
+    void onAccess(Addr addr, Addr pc, bool hit,
+                  std::vector<Addr> &out_lines) override;
+    void onPrefetchUseful(Addr line, Addr pc) override;
+    void onPrefetchLate(Addr line, Addr pc) override;
+    std::uint64_t storageBits() const override;
+
+    /** The action (offset) set; index 0 is "no prefetch". */
+    static const std::array<int, 16> kActions;
+
+  private:
+    struct EqEntry
+    {
+        Addr line = 0;      ///< Prefetched line (0 for no-prefetch)
+        std::uint32_t phi1 = 0;
+        std::uint32_t phi2 = 0;
+        unsigned action = 0;
+        bool rewarded = false;
+    };
+
+    double qValue(std::uint32_t phi1, std::uint32_t phi2,
+                  unsigned action) const;
+    void updateQ(std::uint32_t phi1, std::uint32_t phi2, unsigned action,
+                 double target);
+    unsigned selectAction(std::uint32_t phi1, std::uint32_t phi2);
+    void assignReward(EqEntry &e, int reward);
+    void retireEqOverflow();
+
+    PythiaParams params_;
+    Rng rng_;
+    /** QVStore: per-feature tables of Q-values, one row per action. */
+    std::vector<std::array<float, 16>> table1_;
+    std::vector<std::array<float, 16>> table2_;
+    std::deque<EqEntry> eq_;
+
+    struct PageCtx
+    {
+        Addr page = 0;
+        int lastOffset = 0;
+        std::uint64_t lastUse = 0;
+        bool valid = false;
+    };
+
+    /** Page-local last offset, so interleaved streams keep clean
+     * deltas (Pythia derives its delta feature from page context). */
+    int pageLocalDelta(Addr line);
+
+    std::vector<PageCtx> pages_ = std::vector<PageCtx>(64);
+    std::uint64_t pageClock_ = 0;
+    Addr lastLine_ = 0;
+    std::array<std::uint8_t, 4> lastOffsets_{};
+    std::uint32_t lastPhi1_ = 0;
+    std::uint32_t lastPhi2_ = 0;
+    bool havePrev_ = false;
+};
+
+} // namespace hermes

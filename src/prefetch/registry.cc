@@ -1,0 +1,81 @@
+#include <stdexcept>
+
+#include "prefetch/bingo.hh"
+#include "prefetch/mlop.hh"
+#include "prefetch/prefetcher.hh"
+#include "prefetch/pythia.hh"
+#include "prefetch/sms.hh"
+#include "prefetch/spp.hh"
+#include "prefetch/streamer.hh"
+
+namespace hermes
+{
+
+std::unique_ptr<Prefetcher>
+makePrefetcher(PrefetcherKind kind, std::uint64_t seed)
+{
+    switch (kind) {
+      case PrefetcherKind::None:
+        return nullptr;
+      case PrefetcherKind::Streamer:
+        return std::make_unique<Streamer>();
+      case PrefetcherKind::Spp:
+        return std::make_unique<Spp>();
+      case PrefetcherKind::Bingo:
+        return std::make_unique<Bingo>();
+      case PrefetcherKind::Mlop:
+        return std::make_unique<Mlop>();
+      case PrefetcherKind::Sms:
+        return std::make_unique<Sms>();
+      case PrefetcherKind::Pythia: {
+        PythiaParams p;
+        p.seed = seed;
+        return std::make_unique<Pythia>(p);
+      }
+    }
+    throw std::invalid_argument("unknown prefetcher kind");
+}
+
+PrefetcherKind
+prefetcherKindFromString(const std::string &name)
+{
+    if (name == "none")
+        return PrefetcherKind::None;
+    if (name == "streamer")
+        return PrefetcherKind::Streamer;
+    if (name == "spp")
+        return PrefetcherKind::Spp;
+    if (name == "bingo")
+        return PrefetcherKind::Bingo;
+    if (name == "mlop")
+        return PrefetcherKind::Mlop;
+    if (name == "sms")
+        return PrefetcherKind::Sms;
+    if (name == "pythia")
+        return PrefetcherKind::Pythia;
+    throw std::invalid_argument("unknown prefetcher: " + name);
+}
+
+const char *
+prefetcherKindName(PrefetcherKind kind)
+{
+    switch (kind) {
+      case PrefetcherKind::None:
+        return "none";
+      case PrefetcherKind::Streamer:
+        return "streamer";
+      case PrefetcherKind::Spp:
+        return "spp";
+      case PrefetcherKind::Bingo:
+        return "bingo";
+      case PrefetcherKind::Mlop:
+        return "mlop";
+      case PrefetcherKind::Sms:
+        return "sms";
+      case PrefetcherKind::Pythia:
+        return "pythia";
+    }
+    return "?";
+}
+
+} // namespace hermes

@@ -1,0 +1,71 @@
+#pragma once
+
+/**
+ * @file
+ * SMS: Spatial Memory Streaming (Somogyi et al., ISCA'06). Spatial
+ * generations over 2KB regions are accumulated in an active generation
+ * table; when a generation ends (its table entry is replaced), the
+ * footprint is stored in a pattern history table keyed by the trigger's
+ * (PC, region offset). A later trigger with the same signature streams
+ * the recorded footprint (Table 6 budget: 20KB).
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+#include "prefetch/prefetcher.hh"
+
+namespace hermes
+{
+
+/** SMS parameters. */
+struct SmsParams
+{
+    unsigned regionBytes = 2048;
+    std::uint32_t agtEntries = 64;
+    std::uint32_t phtSets = 256;
+    unsigned phtWays = 8;
+    unsigned maxPrefetchPerTrigger = 16;
+};
+
+/** Spatial memory streaming prefetcher. */
+class Sms : public Prefetcher
+{
+  public:
+    explicit Sms(SmsParams params = SmsParams{});
+
+    const char *name() const override { return "sms"; }
+    void onAccess(Addr addr, Addr pc, bool hit,
+                  std::vector<Addr> &out_lines) override;
+    std::uint64_t storageBits() const override;
+
+  private:
+    struct AgtEntry
+    {
+        Addr region = 0;
+        std::uint32_t signature = 0;
+        std::uint64_t footprint = 0;
+        std::uint64_t lastUse = 0;
+        bool valid = false;
+    };
+
+    struct PhtEntry
+    {
+        std::uint32_t signature = 0;
+        std::uint64_t footprint = 0;
+        std::uint64_t lastUse = 0;
+        bool valid = false;
+    };
+
+    unsigned linesPerRegion() const { return params_.regionBytes / kBlockSize; }
+    std::uint32_t signature(Addr pc, unsigned offset) const;
+    void commit(const AgtEntry &e);
+
+    SmsParams params_;
+    std::vector<AgtEntry> agt_;
+    std::vector<PhtEntry> pht_;
+    std::uint64_t clock_ = 0;
+};
+
+} // namespace hermes

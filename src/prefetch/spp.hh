@@ -1,0 +1,101 @@
+#pragma once
+
+/**
+ * @file
+ * SPP: the Signature Path Prefetcher (Kim et al., MICRO'16) with the
+ * perceptron prefetch filter of Bhatia et al. (ISCA'19), matching the
+ * paper's "SPP (with perceptron filter)" configuration (Table 6,
+ * 39.3KB).
+ *
+ * Structures:
+ *  - Signature Table (ST): per-page last offset + 12-bit compressed
+ *    delta-history signature;
+ *  - Pattern Table (PT): signature -> up to 4 {delta, confidence}
+ *    candidates plus a signature occurrence count;
+ *  - lookahead: follow the highest-confidence delta path, multiplying
+ *    path confidence until it falls below a threshold;
+ *  - PPF: a small hashed perceptron over (PC, signature, delta) that
+ *    vetoes low-quality candidate prefetches and is trained by
+ *    useful/useless feedback from the cache.
+ */
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hh"
+#include "prefetch/prefetcher.hh"
+
+namespace hermes
+{
+
+/** SPP + PPF parameters. */
+struct SppParams
+{
+    std::uint32_t stEntries = 256;
+    std::uint32_t ptEntries = 2048;
+    unsigned ptWays = 4;           ///< Delta candidates per signature
+    double lookaheadThreshold = 0.30;
+    unsigned maxLookahead = 12;
+    bool usePerceptronFilter = true;
+    int ppfThreshold = 0;          ///< Accept when sum >= threshold
+    std::uint32_t ppfTableSize = 1024;
+};
+
+/** Signature Path Prefetcher with perceptron filter. */
+class Spp : public Prefetcher
+{
+  public:
+    explicit Spp(SppParams params = SppParams{});
+
+    const char *name() const override { return "spp"; }
+    void onAccess(Addr addr, Addr pc, bool hit,
+                  std::vector<Addr> &out_lines) override;
+    void onPrefetchUseful(Addr line, Addr pc) override;
+    void onPrefetchUseless(Addr line) override;
+    std::uint64_t storageBits() const override;
+
+  private:
+    struct StEntry
+    {
+        Addr pageTag = 0;
+        int lastOffset = 0;
+        std::uint16_t signature = 0;
+        std::uint64_t lastUse = 0;
+        bool valid = false;
+    };
+
+    struct PtSlot
+    {
+        std::int8_t delta = 0;
+        std::uint8_t confidence = 0;
+    };
+
+    struct PtEntry
+    {
+        PtSlot slots[4];
+        std::uint8_t sigCount = 0;
+    };
+
+    /** PPF bookkeeping for an in-flight prefetch. */
+    struct PpfRecord
+    {
+        std::uint32_t idx[3];
+    };
+
+    static std::uint16_t advanceSignature(std::uint16_t sig, int delta);
+    StEntry *lookupSt(Addr page);
+    void trainPt(std::uint16_t sig, int delta);
+    int ppfSum(Addr pc, std::uint16_t sig, int delta,
+               PpfRecord &rec) const;
+
+    SppParams params_;
+    std::vector<StEntry> st_;
+    std::vector<PtEntry> pt_;
+    std::vector<std::int8_t> ppf_[3];
+    /** In-flight prefetched line -> PPF indices (for feedback). */
+    std::unordered_map<Addr, PpfRecord> inflight_;
+    std::uint64_t clock_ = 0;
+};
+
+} // namespace hermes

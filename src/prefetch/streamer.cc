@@ -1,0 +1,70 @@
+#include "prefetch/streamer.hh"
+
+namespace hermes
+{
+
+Streamer::Streamer(StreamerParams params)
+    : params_(params), table_(params.entries)
+{
+}
+
+void
+Streamer::onAccess(Addr addr, Addr pc, bool hit,
+                   std::vector<Addr> &out_lines)
+{
+    (void)pc;
+    (void)hit;
+    const Addr page = pageNumber(addr);
+    const int offset = static_cast<int>(lineOffsetInPage(addr));
+    ++clock_;
+
+    Entry *e = nullptr;
+    Entry *lru = &table_.front();
+    for (auto &cand : table_) {
+        if (cand.valid && cand.page == page) {
+            e = &cand;
+            break;
+        }
+        if (!cand.valid || cand.lastUse < lru->lastUse)
+            lru = &cand;
+    }
+    if (e == nullptr) {
+        *lru = Entry{};
+        lru->valid = true;
+        lru->page = page;
+        lru->lastOffset = offset;
+        lru->lastUse = clock_;
+        return;
+    }
+    e->lastUse = clock_;
+    const int delta = offset - e->lastOffset;
+    e->lastOffset = offset;
+    if (delta == 0)
+        return;
+    const int dir = delta > 0 ? 1 : -1;
+    if (dir == e->direction) {
+        if (e->confidence < 7)
+            ++e->confidence;
+    } else {
+        e->direction = dir;
+        e->confidence = 1;
+    }
+    if (e->confidence < params_.confidenceThreshold)
+        return;
+    const Addr base_line = lineAddr(addr);
+    for (unsigned d = 1; d <= params_.degree; ++d) {
+        const std::int64_t off = offset + dir * static_cast<int>(d);
+        if (off < 0 || off >= static_cast<int>(kBlocksPerPage))
+            break;
+        out_lines.push_back(base_line + dir * static_cast<std::int64_t>(d));
+    }
+}
+
+std::uint64_t
+Streamer::storageBits() const
+{
+    // page tag (36) + offset (6) + direction (2) + confidence (3)
+    return static_cast<std::uint64_t>(table_.size()) * 47;
+}
+
+} // namespace hermes

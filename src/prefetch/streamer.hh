@@ -1,0 +1,55 @@
+#pragma once
+
+/**
+ * @file
+ * Simple per-page stream prefetcher: detects a monotonic direction
+ * within a 4KB page and runs ahead by a configurable degree. Used as a
+ * sanity baseline and in unit tests; not part of the paper's Table 6
+ * set.
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+#include "prefetch/prefetcher.hh"
+
+namespace hermes
+{
+
+/** Stream prefetcher parameters. */
+struct StreamerParams
+{
+    std::uint32_t entries = 64;
+    unsigned degree = 8;
+    unsigned confidenceThreshold = 2;
+};
+
+/** Per-page stream detector. */
+class Streamer : public Prefetcher
+{
+  public:
+    explicit Streamer(StreamerParams params = StreamerParams{});
+
+    const char *name() const override { return "streamer"; }
+    void onAccess(Addr addr, Addr pc, bool hit,
+                  std::vector<Addr> &out_lines) override;
+    std::uint64_t storageBits() const override;
+
+  private:
+    struct Entry
+    {
+        Addr page = 0;
+        int lastOffset = 0;
+        int direction = 0;
+        unsigned confidence = 0;
+        std::uint64_t lastUse = 0;
+        bool valid = false;
+    };
+
+    StreamerParams params_;
+    std::vector<Entry> table_;
+    std::uint64_t clock_ = 0;
+};
+
+} // namespace hermes

@@ -1,0 +1,50 @@
+#pragma once
+
+/**
+ * @file
+ * Activity-based dynamic power model, substituting for McPAT (paper
+ * §8.5, Fig. 18). Per-access energies for each structure are fixed
+ * constants in the ratio published for comparable geometries; dynamic
+ * power = sum(activity x energy) / execution time, which preserves the
+ * *relative* power of configurations (the quantity Fig. 18 reports).
+ */
+
+#include "sim/system.hh"
+
+namespace hermes
+{
+
+/** Per-structure dynamic power (arbitrary consistent units: mW). */
+struct PowerBreakdown
+{
+    double l1 = 0;
+    double l2 = 0;
+    double llc = 0;
+    double bus = 0;   ///< DRAM channel / on-chip interconnect traffic
+    double other = 0; ///< Predictors, prefetcher, branch unit
+
+    double
+    total() const
+    {
+        return l1 + l2 + llc + bus + other;
+    }
+};
+
+/** Per-access energy constants (pJ), roughly CACTI-class ratios. */
+struct PowerParams
+{
+    double l1AccessPj = 20;
+    double l2AccessPj = 60;
+    double llcAccessPj = 240;
+    double dramAccessPj = 12000;
+    double busPerRequestPj = 800;
+    double predictorAccessPj = 4;
+    double prefetcherAccessPj = 12;
+    double coreFreqGhz = 4.0;
+};
+
+/** Compute the dynamic power of a finished run. */
+PowerBreakdown computePower(const RunStats &stats,
+                            const PowerParams &params = PowerParams{});
+
+} // namespace hermes

@@ -1,0 +1,133 @@
+#include "sim/report.hh"
+
+#include <sstream>
+
+#include "sim/power.hh"
+
+namespace hermes
+{
+
+namespace
+{
+
+void
+cacheSection(std::ostringstream &os, const char *name, const CacheStats &c)
+{
+    const double hit_rate =
+        c.demandLookups()
+            ? 100.0 * static_cast<double>(c.demandHits()) /
+                  static_cast<double>(c.demandLookups())
+            : 0.0;
+    os << "  " << name << ": demand " << c.demandLookups() << " (hit "
+       << hit_rate << "%), wb " << c.writebackLookups << ", pf issued "
+       << c.prefetchIssued << " useful " << c.usefulPrefetches
+       << " useless " << c.uselessPrefetches << ", evict " << c.evictions
+       << " (dirty " << c.dirtyEvictions << ")\n";
+}
+
+} // namespace
+
+std::string
+formatReport(const RunStats &stats)
+{
+    std::ostringstream os;
+    os << "=== simulation report ===\n";
+    os << "cycles: " << stats.simCycles << "\n";
+    for (std::size_t i = 0; i < stats.core.size(); ++i) {
+        const auto &c = stats.core[i];
+        os << "core " << i << ": " << c.instrsRetired << " instrs, IPC "
+           << stats.ipc(static_cast<int>(i)) << "\n";
+        os << "  loads " << c.loadsRetired << " (off-chip "
+           << c.loadsOffChip << ", blocking " << c.offChipBlocking
+           << "), stores " << c.storesRetired << ", branches "
+           << c.branchesRetired << " (mispred " << c.branchMispredicts
+           << ")\n";
+        os << "  stall cycles: off-chip " << c.stallCyclesOffChip
+           << " (eliminable " << c.stallCyclesEliminable
+           << "), other-load " << c.stallCyclesOtherLoad << ", other "
+           << c.stallCyclesOther << "\n";
+        if (i < stats.predictor.size() &&
+            stats.predictor[i].total() > 0) {
+            const auto &p = stats.predictor[i];
+            os << "  off-chip predictor: acc "
+               << 100.0 * p.accuracy() << "% cov "
+               << 100.0 * p.coverage() << "% (tp " << p.truePositives
+               << " fp " << p.falsePositives << " fn "
+               << p.falseNegatives << " tn " << p.trueNegatives << ")\n";
+        }
+    }
+
+    os << "memory hierarchy:\n";
+    cacheSection(os, "L1D", stats.l1);
+    cacheSection(os, "L2 ", stats.l2);
+    cacheSection(os, "LLC", stats.llc);
+    os << "  LLC MPKI: " << stats.llcMpki() << "\n";
+
+    const auto &d = stats.dram;
+    os << "dram: reads " << d.totalReads() << " (demand "
+       << d.demandReads << ", prefetch " << d.prefetchReads
+       << ", hermes " << d.hermesReads << "), writes " << d.writes
+       << "\n";
+    os << "  row hits " << d.rowHits << " misses " << d.rowMisses
+       << " conflicts " << d.rowConflicts << ", wq-forwards "
+       << d.wqForwards << "\n";
+    if (stats.hermesRequestsScheduled > 0) {
+        os << "hermes: scheduled " << stats.hermesRequestsScheduled
+           << ", issued " << d.hermesIssued << ", merged-existing "
+           << d.hermesMergedIntoExisting << ", useful " << d.hermesUseful
+           << ", dropped " << d.hermesDropped << ", rejected "
+           << d.hermesRejected << ", loads served "
+           << stats.hermesLoadsServed << "\n";
+    }
+    if (stats.prefetch.issued > 0) {
+        os << "prefetcher: issued " << stats.prefetch.issued
+           << ", useful " << stats.prefetch.useful << ", useless "
+           << stats.prefetch.useless << "\n";
+    }
+
+    const PowerBreakdown p = computePower(stats);
+    os << "dynamic power (mW): L1 " << p.l1 << ", L2 " << p.l2
+       << ", LLC " << p.llc << ", bus+DRAM " << p.bus << ", other "
+       << p.other << ", total " << p.total() << "\n";
+    return os.str();
+}
+
+std::string
+csvHeader()
+{
+    return "label,cycles,instrs,ipc,llc_mpki,loads,offchip_loads,"
+           "pred_accuracy,pred_coverage,dram_reads,dram_writes,"
+           "hermes_issued,hermes_useful,hermes_dropped,pf_issued,"
+           "pf_useful,power_mw";
+}
+
+std::string
+formatCsvRow(const std::string &label, const RunStats &stats)
+{
+    std::uint64_t loads = 0, offchip = 0;
+    for (const auto &c : stats.core) {
+        loads += c.loadsRetired;
+        offchip += c.loadsOffChip;
+    }
+    const PredictorStats pred = stats.predTotal();
+    const PowerBreakdown power = computePower(stats);
+    const double total_ipc =
+        stats.simCycles
+            ? static_cast<double>(stats.instrsRetired()) /
+                  static_cast<double>(stats.simCycles)
+            : 0.0;
+
+    std::ostringstream os;
+    os << label << ',' << stats.simCycles << ','
+       << stats.instrsRetired() << ',' << total_ipc << ','
+       << stats.llcMpki() << ',' << loads << ',' << offchip << ','
+       << pred.accuracy() << ',' << pred.coverage() << ','
+       << stats.dram.totalReads() << ',' << stats.dram.writes << ','
+       << stats.dram.hermesIssued << ',' << stats.dram.hermesUseful
+       << ',' << stats.dram.hermesDropped << ','
+       << stats.prefetch.issued << ',' << stats.prefetch.useful << ','
+       << power.total();
+    return os.str();
+}
+
+} // namespace hermes

@@ -1,0 +1,25 @@
+#pragma once
+
+/**
+ * @file
+ * Human-readable and CSV reporting of RunStats: the full statistics
+ * dump used by the CLI front end and handy for ad-hoc experiments.
+ */
+
+#include <string>
+
+#include "sim/system.hh"
+
+namespace hermes
+{
+
+/** Multi-section plain-text report of a finished run. */
+std::string formatReport(const RunStats &stats);
+
+/** One-line CSV header matching formatCsvRow(). */
+std::string csvHeader();
+
+/** Flat CSV row (aggregated over cores) for scripted consumption. */
+std::string formatCsvRow(const std::string &label, const RunStats &stats);
+
+} // namespace hermes

@@ -1,0 +1,53 @@
+#include "sim/simulator.hh"
+
+#include <cstdlib>
+#include <stdexcept>
+
+namespace hermes
+{
+
+SimBudget
+SimBudget::fromEnv(std::uint64_t warmup, std::uint64_t sim)
+{
+    SimBudget b;
+    b.warmupInstrs = warmup;
+    b.simInstrs = sim;
+    if (const char *env = std::getenv("HERMES_SIM_SCALE")) {
+        const double scale = std::strtod(env, nullptr);
+        if (scale > 0) {
+            b.warmupInstrs =
+                static_cast<std::uint64_t>(warmup * scale);
+            b.simInstrs = static_cast<std::uint64_t>(sim * scale);
+        }
+    }
+    return b;
+}
+
+RunStats
+simulateOne(const SystemConfig &config, const TraceSpec &trace,
+            const SimBudget &budget)
+{
+    if (config.numCores != 1)
+        throw std::invalid_argument("simulateOne needs a 1-core config");
+    std::vector<std::unique_ptr<Workload>> w;
+    w.push_back(trace.make());
+    System system(config, std::move(w));
+    return system.run(budget.warmupInstrs, budget.simInstrs);
+}
+
+RunStats
+simulateMix(const SystemConfig &config,
+            const std::vector<TraceSpec> &traces, const SimBudget &budget)
+{
+    if (static_cast<int>(traces.size()) != config.numCores)
+        throw std::invalid_argument("need one trace per core");
+    std::vector<std::unique_ptr<Workload>> w;
+    for (std::size_t i = 0; i < traces.size(); ++i) {
+        auto base = traces[i].make();
+        w.push_back(i == 0 ? std::move(base) : base->clone(i));
+    }
+    System system(config, std::move(w));
+    return system.run(budget.warmupInstrs, budget.simInstrs);
+}
+
+} // namespace hermes

@@ -1,0 +1,47 @@
+#pragma once
+
+/**
+ * @file
+ * One-call simulation entry points used by examples, tests and the
+ * benchmark harness: build a System from a SystemConfig plus trace
+ * specs, run warmup + measurement, return RunStats.
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/system.hh"
+#include "trace/suite.hh"
+
+namespace hermes
+{
+
+/** Instruction budgets for a run. */
+struct SimBudget
+{
+    std::uint64_t warmupInstrs = 100'000;
+    std::uint64_t simInstrs = 400'000;
+
+    /**
+     * Budget scaled by the HERMES_SIM_SCALE environment variable
+     * (a positive float; e.g. 4 quadruples both windows). Lets the
+     * benchmark suite trade fidelity for runtime without recompiling.
+     */
+    static SimBudget fromEnv(std::uint64_t warmup = 100'000,
+                             std::uint64_t sim = 400'000);
+};
+
+/** Run a single-core simulation of @p trace. */
+RunStats simulateOne(const SystemConfig &config, const TraceSpec &trace,
+                     const SimBudget &budget);
+
+/**
+ * Run a multi-core simulation; @p traces must have one entry per core
+ * (a homogeneous mix repeats the same spec). Per-core workloads receive
+ * distinct seed offsets so copies do not run in lockstep.
+ */
+RunStats simulateMix(const SystemConfig &config,
+                     const std::vector<TraceSpec> &traces,
+                     const SimBudget &budget);
+
+} // namespace hermes

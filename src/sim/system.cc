@@ -1,0 +1,322 @@
+#include "sim/system.hh"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+#include "predictor/ideal.hh"
+
+namespace hermes
+{
+
+SystemConfig
+SystemConfig::baseline(int cores)
+{
+    SystemConfig cfg;
+    cfg.numCores = cores;
+    if (cores >= 8) {
+        cfg.dram.channels = 4;
+        cfg.dram.ranksPerChannel = 2;
+    } else if (cores > 1) {
+        cfg.dram.channels = 2;
+        cfg.dram.ranksPerChannel = 2;
+    }
+    return cfg;
+}
+
+std::uint64_t
+RunStats::instrsRetired() const
+{
+    std::uint64_t total = 0;
+    for (const auto &c : core)
+        total += c.instrsRetired;
+    return total;
+}
+
+double
+RunStats::ipc(int core_id) const
+{
+    const auto &c = core.at(core_id);
+    const std::uint64_t cycles =
+        core_id < static_cast<int>(coreFinishCycle.size()) &&
+                coreFinishCycle[core_id] > 0
+            ? coreFinishCycle[core_id]
+            : simCycles;
+    return cycles ? static_cast<double>(c.instrsRetired) /
+                        static_cast<double>(cycles)
+                  : 0.0;
+}
+
+double
+RunStats::llcMpki() const
+{
+    const std::uint64_t instrs = instrsRetired();
+    return instrs ? 1000.0 * static_cast<double>(llc.demandMisses()) /
+                        static_cast<double>(instrs)
+                  : 0.0;
+}
+
+PredictorStats
+RunStats::predTotal() const
+{
+    PredictorStats t;
+    for (const auto &p : predictor) {
+        t.truePositives += p.truePositives;
+        t.falsePositives += p.falsePositives;
+        t.falseNegatives += p.falseNegatives;
+        t.trueNegatives += p.trueNegatives;
+    }
+    return t;
+}
+
+namespace
+{
+
+std::uint32_t
+toSets(std::uint64_t bytes, std::uint32_t ways)
+{
+    const std::uint64_t lines = bytes / kBlockSize;
+    const std::uint64_t sets = lines / ways;
+    std::uint64_t p = 1;
+    while (p * 2 <= sets)
+        p *= 2;
+    // Geometry must be a power of two; round down and widen the ways
+    // to preserve capacity if needed.
+    return static_cast<std::uint32_t>(p);
+}
+
+} // namespace
+
+System::System(const SystemConfig &config,
+               std::vector<std::unique_ptr<Workload>> workloads)
+    : config_(config), workloads_(std::move(workloads))
+{
+    const int n = config_.numCores;
+    if (static_cast<int>(workloads_.size()) != n)
+        throw std::invalid_argument("need one workload per core");
+
+    dram_ = std::make_unique<DramController>(config_.dram);
+
+    CacheParams llc_params;
+    llc_params.name = "LLC";
+    llc_params.level = MemLevel::Llc;
+    llc_params.ways = config_.llcWays;
+    llc_params.sets =
+        toSets(config_.llcBytesPerCore * n, config_.llcWays);
+    llc_params.latency = config_.llcLatency;
+    llc_params.mshrs = config_.llcMshrsPerCore * n;
+    llc_params.rqSize = 64u * n;
+    llc_params.pqSize = 48u * n;
+    llc_params.repl = config_.llcRepl;
+    llc_ = std::make_unique<Cache>(llc_params);
+    llc_->setLower(dram_.get());
+
+    prefetcher_ = makePrefetcher(config_.prefetcher, config_.seed);
+    if (prefetcher_ != nullptr)
+        llc_->setPrefetcher(prefetcher_.get());
+
+    for (int i = 0; i < n; ++i) {
+        CacheParams l2p;
+        l2p.name = "L2";
+        l2p.level = MemLevel::L2;
+        l2p.sets = config_.l2Sets;
+        l2p.ways = config_.l2Ways;
+        l2p.latency = config_.l2Latency;
+        l2p.mshrs = config_.l2Mshrs;
+        l2p.rqSize = 48;
+        l2p.repl = ReplKind::Lru;
+        l2_.push_back(std::make_unique<Cache>(l2p));
+        l2_.back()->setLower(llc_.get());
+        llc_->setUpper(i, l2_.back().get());
+        dram_->setClient(i, llc_.get());
+
+        CacheParams l1p;
+        l1p.name = "L1D";
+        l1p.level = MemLevel::L1;
+        l1p.sets = config_.l1Sets;
+        l1p.ways = config_.l1Ways;
+        l1p.latency = config_.l1Latency;
+        l1p.mshrs = config_.l1Mshrs;
+        l1p.rqSize = 32;
+        l1p.repl = ReplKind::Lru;
+        l1_.push_back(std::make_unique<Cache>(l1p));
+        l1_.back()->setLower(l2_.back().get());
+        l2_.back()->setUpper(i, l1_.back().get());
+    }
+
+    // Off-chip predictors + Hermes controllers (one per core).
+    for (int i = 0; i < n; ++i) {
+        std::unique_ptr<OffChipPredictor> pred;
+        switch (config_.predictor) {
+          case PredictorKind::None:
+            break;
+          case PredictorKind::Popet:
+            pred = std::make_unique<Popet>(config_.popet);
+            break;
+          case PredictorKind::Hmp:
+            pred = std::make_unique<Hmp>(config_.hmp);
+            break;
+          case PredictorKind::Ttp:
+            pred = std::make_unique<Ttp>(config_.ttp);
+            break;
+          case PredictorKind::Ideal: {
+            Cache *l1 = l1_[i].get();
+            Cache *l2 = l2_[i].get();
+            Cache *llc = llc_.get();
+            pred = std::make_unique<IdealPredictor>(
+                [l1, l2, llc](Addr line) {
+                    return l1->probe(line) || l2->probe(line) ||
+                           llc->probe(line);
+                });
+            break;
+          }
+        }
+        predictors_.push_back(std::move(pred));
+
+        HermesParams hp;
+        hp.issueEnabled = config_.hermesIssueEnabled &&
+                          config_.predictor != PredictorKind::None;
+        hp.issueLatency = config_.hermesIssueLatency;
+        hermes_.push_back(std::make_unique<HermesController>(
+            hp, predictors_.back().get(), dram_.get()));
+    }
+
+    // Hierarchy events feed the TTP trackers of every core.
+    llc_->onFillFromDram = [this](Addr line) {
+        for (auto &p : predictors_)
+            if (p != nullptr)
+                p->onFillFromDram(line);
+    };
+    llc_->onEviction = [this](Addr line) {
+        for (auto &p : predictors_)
+            if (p != nullptr)
+                p->onLlcEviction(line);
+    };
+
+    for (int i = 0; i < n; ++i) {
+        cores_.push_back(std::make_unique<OooCore>(
+            i, config_.core, workloads_[i].get(), l1_[i].get(),
+            hermes_[i].get()));
+        l1_[i]->setUpper(i, cores_.back().get());
+    }
+    finishCycle_.assign(n, 0);
+}
+
+System::~System() = default;
+
+void
+System::tick()
+{
+    ++now_;
+    dram_->tick(now_);
+    llc_->tick(now_);
+    for (auto &c : l2_)
+        c->tick(now_);
+    for (auto &c : l1_)
+        c->tick(now_);
+    for (auto &c : cores_)
+        c->tick(now_);
+}
+
+void
+System::clearAllStats()
+{
+    for (auto &c : cores_)
+        c->clearStats();
+    for (auto &c : l1_)
+        c->clearStats();
+    for (auto &c : l2_)
+        c->clearStats();
+    llc_->clearStats();
+    dram_->clearStats();
+    for (auto &h : hermes_)
+        h->clearStats();
+    if (prefetcher_ != nullptr)
+        prefetcher_->stats() = PrefetcherStats{};
+}
+
+RunStats
+System::run(std::uint64_t warmup_instrs, std::uint64_t sim_instrs)
+{
+    const int n = config_.numCores;
+    // Generous watchdog: no workload here sustains IPC below ~0.01.
+    const std::uint64_t max_cycles =
+        (warmup_instrs + sim_instrs) * 400 + 1'000'000;
+
+    auto all_reached = [&](std::uint64_t target) {
+        for (const auto &c : cores_)
+            if (c->instrsRetired() < target)
+                return false;
+        return true;
+    };
+
+    while (!all_reached(warmup_instrs) && now_ < max_cycles)
+        tick();
+
+    clearAllStats();
+    const Cycle measure_start = now_;
+    finishCycle_.assign(n, 0);
+
+    bool done = false;
+    while (!done && now_ < measure_start + max_cycles) {
+        tick();
+        done = true;
+        for (int i = 0; i < n; ++i) {
+            if (cores_[i]->instrsRetired() >= sim_instrs) {
+                if (finishCycle_[i] == 0)
+                    finishCycle_[i] = now_ - measure_start;
+            } else {
+                done = false;
+            }
+        }
+    }
+
+    RunStats stats = collect();
+    stats.simCycles = now_ - measure_start;
+    return stats;
+}
+
+RunStats
+System::collect() const
+{
+    RunStats s;
+    const int n = config_.numCores;
+    s.coreFinishCycle = finishCycle_;
+    for (int i = 0; i < n; ++i) {
+        s.core.push_back(cores_[i]->stats());
+        s.branch.push_back(cores_[i]->branchStats());
+        s.predictor.push_back(hermes_[i]->stats().pred);
+        s.hermesRequestsScheduled += hermes_[i]->stats().requestsScheduled;
+        s.hermesLoadsServed += hermes_[i]->stats().loadsServedByHermes;
+
+        auto add = [](CacheStats &dst, const CacheStats &src) {
+            dst.loadLookups += src.loadLookups;
+            dst.loadHits += src.loadHits;
+            dst.rfoLookups += src.rfoLookups;
+            dst.rfoHits += src.rfoHits;
+            dst.writebackLookups += src.writebackLookups;
+            dst.writebackHits += src.writebackHits;
+            dst.prefetchLookups += src.prefetchLookups;
+            dst.prefetchDropped += src.prefetchDropped;
+            dst.prefetchIssued += src.prefetchIssued;
+            dst.mshrMerges += src.mshrMerges;
+            dst.mshrLatePrefetchHits += src.mshrLatePrefetchHits;
+            dst.fills += src.fills;
+            dst.prefetchFills += src.prefetchFills;
+            dst.evictions += src.evictions;
+            dst.dirtyEvictions += src.dirtyEvictions;
+            dst.usefulPrefetches += src.usefulPrefetches;
+            dst.uselessPrefetches += src.uselessPrefetches;
+            dst.rqRejects += src.rqRejects;
+        };
+        add(s.l1, l1_[i]->stats());
+        add(s.l2, l2_[i]->stats());
+    }
+    s.llc = llc_->stats();
+    s.dram = dram_->stats();
+    if (prefetcher_ != nullptr)
+        s.prefetch = prefetcher_->stats();
+    return s;
+}
+
+} // namespace hermes

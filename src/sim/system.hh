@@ -1,0 +1,158 @@
+#pragma once
+
+/**
+ * @file
+ * Full-system assembly: N cores, each with a private L1D and L2, a
+ * shared LLC (3MB/core slices modelled as one shared cache), a DDR4
+ * memory controller, the configured LLC prefetcher, and per-core
+ * off-chip predictors + Hermes controllers. Defaults reproduce Table 4.
+ */
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cache/cache.hh"
+#include "core/ooo_core.hh"
+#include "dram/dram.hh"
+#include "hermes/hermes.hh"
+#include "predictor/hmp.hh"
+#include "predictor/offchip_pred.hh"
+#include "predictor/popet.hh"
+#include "predictor/ttp.hh"
+#include "prefetch/prefetcher.hh"
+#include "trace/workload.hh"
+
+namespace hermes
+{
+
+/** Complete system configuration (Table 4 defaults for one core). */
+struct SystemConfig
+{
+    int numCores = 1;
+    CoreParams core;
+
+    // L1D: 48KB, 12-way, 5-cycle round trip.
+    std::uint32_t l1Sets = 64;
+    std::uint32_t l1Ways = 12;
+    Cycle l1Latency = 5;
+    std::uint32_t l1Mshrs = 16;
+
+    // L2: 1.25MB, 20-way, 15-cycle round trip (10 incremental).
+    std::uint32_t l2Sets = 1024;
+    std::uint32_t l2Ways = 20;
+    Cycle l2Latency = 10;
+    std::uint32_t l2Mshrs = 48;
+
+    // LLC: 3MB/core, 12-way, 55-cycle round trip (40 incremental),
+    // SHiP replacement (Fig. 17d sweeps llcLatency; Fig. 20 the size).
+    std::uint64_t llcBytesPerCore = 3ull << 20;
+    std::uint32_t llcWays = 12;
+    Cycle llcLatency = 40;
+    std::uint32_t llcMshrsPerCore = 64;
+    ReplKind llcRepl = ReplKind::Ship;
+
+    PrefetcherKind prefetcher = PrefetcherKind::None;
+
+    PredictorKind predictor = PredictorKind::None;
+    /** Issue Hermes requests (false = predictor-only measurement). */
+    bool hermesIssueEnabled = false;
+    /** Hermes-O: 6 cycles; Hermes-P: 18 cycles (Fig. 17c sweeps). */
+    Cycle hermesIssueLatency = 6;
+    PopetParams popet;
+    HmpParams hmp;
+    TtpParams ttp;
+
+    DramParams dram;
+
+    std::uint64_t seed = 1;
+
+    /** Baseline single/multi-core configuration per Table 4. */
+    static SystemConfig baseline(int cores);
+};
+
+/** Aggregated results of one simulation run. */
+struct RunStats
+{
+    std::uint64_t simCycles = 0;
+    std::vector<CoreStats> core;
+    std::vector<BranchStats> branch;
+    std::vector<PredictorStats> predictor;
+    std::vector<std::uint64_t> coreFinishCycle; ///< Cycle each core hit
+                                                ///< its instruction quota
+    CacheStats l1;  ///< Summed over cores
+    CacheStats l2;  ///< Summed over cores
+    CacheStats llc;
+    DramStats dram;
+    PrefetcherStats prefetch;
+    std::uint64_t hermesRequestsScheduled = 0;
+    std::uint64_t hermesLoadsServed = 0;
+
+    /** Instructions retired across all cores (measurement window). */
+    std::uint64_t instrsRetired() const;
+    /** Per-core IPC over the measurement window. */
+    double ipc(int core_id) const;
+    /** LLC demand misses per kilo instruction. */
+    double llcMpki() const;
+    /** Aggregate predictor confusion matrix. */
+    PredictorStats predTotal() const;
+};
+
+/**
+ * A complete simulated machine. Workloads are cloned per core from the
+ * provided list (one entry per core).
+ */
+class System
+{
+  public:
+    System(const SystemConfig &config,
+           std::vector<std::unique_ptr<Workload>> workloads);
+    ~System();
+
+    System(const System &) = delete;
+    System &operator=(const System &) = delete;
+
+    /**
+     * Run warmup then measure. Each core executes at least
+     * @p sim_instrs instructions in the measurement window; cores that
+     * finish early keep executing (multi-programmed replay, §7).
+     */
+    RunStats run(std::uint64_t warmup_instrs, std::uint64_t sim_instrs);
+
+    /** Single-stepping access for fine-grained tests. */
+    void tick();
+    Cycle now() const { return now_; }
+
+    OooCore &coreAt(int i) { return *cores_[i]; }
+    Cache &l1At(int i) { return *l1_[i]; }
+    Cache &l2At(int i) { return *l2_[i]; }
+    Cache &llc() { return *llc_; }
+    DramController &dram() { return *dram_; }
+    Prefetcher *prefetcher() { return prefetcher_.get(); }
+    OffChipPredictor *predictorAt(int i)
+    {
+        return predictors_[i].get();
+    }
+    HermesController &hermesAt(int i) { return *hermes_[i]; }
+    const SystemConfig &config() const { return config_; }
+
+  private:
+    void clearAllStats();
+    RunStats collect() const;
+
+    SystemConfig config_;
+    std::vector<std::unique_ptr<Workload>> workloads_;
+    std::unique_ptr<DramController> dram_;
+    std::unique_ptr<Cache> llc_;
+    std::vector<std::unique_ptr<Cache>> l2_;
+    std::vector<std::unique_ptr<Cache>> l1_;
+    std::unique_ptr<Prefetcher> prefetcher_;
+    std::vector<std::unique_ptr<OffChipPredictor>> predictors_;
+    std::vector<std::unique_ptr<HermesController>> hermes_;
+    std::vector<std::unique_ptr<OooCore>> cores_;
+    Cycle now_ = 0;
+    std::vector<std::uint64_t> finishCycle_;
+};
+
+} // namespace hermes

@@ -1,0 +1,46 @@
+#pragma once
+
+/**
+ * @file
+ * The evaluation suite: named synthetic traces grouped into the paper's
+ * five workload categories (SPEC06, SPEC17, PARSEC, Ligra, CVP). Each
+ * entry mirrors the memory behaviour of a representative workload the
+ * paper's trace list contains (e.g. mcf -> dependent pointer chase,
+ * lbm -> dense stream, Ligra PageRank -> gather).
+ */
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "trace/synthetic.hh"
+#include "trace/workload.hh"
+
+namespace hermes
+{
+
+/** A named trace: category + generator parameters. */
+struct TraceSpec
+{
+    SyntheticParams params;
+
+    const std::string &name() const { return params.name; }
+    const std::string &category() const { return params.category; }
+
+    /** Instantiate a fresh workload for this trace. */
+    std::unique_ptr<Workload> make() const;
+};
+
+/** The full 28-trace evaluation suite across all five categories. */
+std::vector<TraceSpec> fullSuite();
+
+/** A fast 10-trace subset (2 per category) for quick runs and tests. */
+std::vector<TraceSpec> quickSuite();
+
+/** All distinct categories in suite order. */
+std::vector<std::string> suiteCategories();
+
+/** Look a trace up by name; throws std::out_of_range if unknown. */
+TraceSpec findTrace(const std::string &name);
+
+} // namespace hermes

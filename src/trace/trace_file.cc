@@ -1,0 +1,163 @@
+#include "trace/trace_file.hh"
+
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+
+namespace hermes
+{
+
+namespace
+{
+
+/** On-disk record layout (fixed 24 bytes). */
+struct DiskRecord
+{
+    std::uint64_t pc;
+    std::uint64_t vaddr;
+    std::uint32_t depDistance;
+    std::uint8_t kind;
+    std::uint8_t branchTaken;
+    std::uint16_t pad;
+};
+static_assert(sizeof(DiskRecord) == 24, "unexpected record padding");
+
+bool
+writeBytes(std::FILE *f, const void *data, std::size_t size)
+{
+    return std::fwrite(data, 1, size, f) == size;
+}
+
+bool
+writeString(std::FILE *f, const std::string &s)
+{
+    const auto len = static_cast<std::uint32_t>(s.size());
+    return writeBytes(f, &len, sizeof(len)) &&
+           writeBytes(f, s.data(), s.size());
+}
+
+bool
+readBytes(std::FILE *f, void *data, std::size_t size)
+{
+    return std::fread(data, 1, size, f) == size;
+}
+
+bool
+readString(std::FILE *f, std::string &out)
+{
+    std::uint32_t len = 0;
+    if (!readBytes(f, &len, sizeof(len)) || len > (1u << 20))
+        return false;
+    out.resize(len);
+    return len == 0 || readBytes(f, out.data(), len);
+}
+
+struct FileCloser
+{
+    void operator()(std::FILE *f) const
+    {
+        if (f != nullptr)
+            std::fclose(f);
+    }
+};
+
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+} // namespace
+
+bool
+writeTraceFile(const std::string &path, Workload &workload,
+               std::uint64_t count, const std::string &name,
+               const std::string &category)
+{
+    FilePtr f(std::fopen(path.c_str(), "wb"));
+    if (!f)
+        return false;
+
+    const std::uint32_t version = kTraceVersion;
+    const std::uint32_t reserved = 0;
+    if (!writeBytes(f.get(), kTraceMagic, sizeof(kTraceMagic)) ||
+        !writeBytes(f.get(), &version, sizeof(version)) ||
+        !writeBytes(f.get(), &reserved, sizeof(reserved)) ||
+        !writeString(f.get(), name) || !writeString(f.get(), category) ||
+        !writeBytes(f.get(), &count, sizeof(count)))
+        return false;
+
+    for (std::uint64_t i = 0; i < count; ++i) {
+        const TraceInstr t = workload.next();
+        DiskRecord rec{};
+        rec.pc = t.pc;
+        rec.vaddr = t.vaddr;
+        rec.depDistance = t.depDistance;
+        rec.kind = static_cast<std::uint8_t>(t.kind);
+        rec.branchTaken = t.branchTaken ? 1 : 0;
+        if (!writeBytes(f.get(), &rec, sizeof(rec)))
+            return false;
+    }
+    return true;
+}
+
+FileWorkload::FileWorkload(const std::string &path) : path_(path)
+{
+    FilePtr f(std::fopen(path.c_str(), "rb"));
+    if (!f)
+        throw std::runtime_error("cannot open trace file: " + path);
+
+    char magic[8];
+    std::uint32_t version = 0, reserved = 0;
+    if (!readBytes(f.get(), magic, sizeof(magic)) ||
+        std::memcmp(magic, kTraceMagic, sizeof(magic)) != 0)
+        throw std::runtime_error("not a Hermes trace file: " + path);
+    if (!readBytes(f.get(), &version, sizeof(version)) ||
+        version != kTraceVersion)
+        throw std::runtime_error("unsupported trace version in " + path);
+    if (!readBytes(f.get(), &reserved, sizeof(reserved)) ||
+        !readString(f.get(), name_) || !readString(f.get(), category_))
+        throw std::runtime_error("corrupt trace header in " + path);
+
+    std::uint64_t count = 0;
+    if (!readBytes(f.get(), &count, sizeof(count)) || count == 0)
+        throw std::runtime_error("empty or corrupt trace: " + path);
+
+    records_.reserve(count);
+    for (std::uint64_t i = 0; i < count; ++i) {
+        DiskRecord rec{};
+        if (!readBytes(f.get(), &rec, sizeof(rec)))
+            throw std::runtime_error("truncated trace file: " + path);
+        if (rec.kind > static_cast<std::uint8_t>(InstrKind::Branch))
+            throw std::runtime_error("corrupt record in " + path);
+        TraceInstr t;
+        t.pc = rec.pc;
+        t.vaddr = rec.vaddr;
+        t.depDistance = rec.depDistance;
+        t.kind = static_cast<InstrKind>(rec.kind);
+        t.branchTaken = rec.branchTaken != 0;
+        records_.push_back(t);
+    }
+}
+
+TraceInstr
+FileWorkload::next()
+{
+    const TraceInstr t = records_[pos_];
+    pos_ = (pos_ + 1) % records_.size();
+    return t;
+}
+
+std::unique_ptr<Workload>
+FileWorkload::clone(std::uint64_t seed_offset) const
+{
+    auto copy = std::unique_ptr<FileWorkload>(new FileWorkload());
+    copy->path_ = path_;
+    copy->name_ = name_;
+    copy->category_ = category_;
+    copy->records_ = records_;
+    // Start replicas at a rotated position so multi-core copies of the
+    // same file do not run in lockstep.
+    copy->pos_ = records_.empty()
+                     ? 0
+                     : (seed_offset * 9973) % records_.size();
+    return copy;
+}
+
+} // namespace hermes

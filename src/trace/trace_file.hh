@@ -1,0 +1,71 @@
+#pragma once
+
+/**
+ * @file
+ * Binary trace file support, ChampSim-style: any workload (synthetic or
+ * otherwise) can be captured to a compact on-disk format and replayed
+ * later, which makes experiments shareable and lets users bring their
+ * own traces without linking against the generators.
+ *
+ * Format (little-endian):
+ *   header: magic "HRMTRACE" (8B) | version u32 | reserved u32
+ *           | name length u32 | name bytes | category length u32
+ *           | category bytes | record count u64
+ *   records: { pc u64 | vaddr u64 | depDistance u32 | kind u8
+ *              | branchTaken u8 | pad u16 } x count
+ *
+ * A replayed trace loops when it reaches the end (workloads are
+ * infinite streams by contract).
+ */
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "trace/workload.hh"
+
+namespace hermes
+{
+
+/** Magic bytes identifying a Hermes trace file. */
+inline constexpr char kTraceMagic[8] = {'H', 'R', 'M', 'T',
+                                        'R', 'A', 'C', 'E'};
+inline constexpr std::uint32_t kTraceVersion = 1;
+
+/**
+ * Capture @p count instructions of @p workload into @p path.
+ * @return true on success.
+ */
+bool writeTraceFile(const std::string &path, Workload &workload,
+                    std::uint64_t count, const std::string &name,
+                    const std::string &category);
+
+/**
+ * Replays a trace file as an infinite workload (loops at EOF).
+ * Construction throws std::runtime_error on malformed files.
+ */
+class FileWorkload : public Workload
+{
+  public:
+    explicit FileWorkload(const std::string &path);
+
+    const std::string &name() const override { return name_; }
+    const std::string &category() const override { return category_; }
+    TraceInstr next() override;
+    std::unique_ptr<Workload> clone(std::uint64_t seed_offset) const
+        override;
+
+    std::uint64_t recordCount() const { return records_.size(); }
+
+  private:
+    FileWorkload() = default;
+
+    std::string path_;
+    std::string name_;
+    std::string category_;
+    std::vector<TraceInstr> records_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace hermes

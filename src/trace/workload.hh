@@ -1,0 +1,77 @@
+#pragma once
+
+/**
+ * @file
+ * Trace-instruction record and the workload (trace source) interface.
+ *
+ * The simulator is trace-driven in the style of ChampSim: a workload is
+ * an infinite, deterministic stream of decoded instructions. The paper's
+ * SPEC/PARSEC/Ligra/CVP championship traces are replaced by synthetic
+ * generators that reproduce the same *memory-access structure* (see
+ * DESIGN.md §1); the core/memory models consume both identically.
+ */
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/types.hh"
+
+namespace hermes
+{
+
+/** Instruction classes the core model distinguishes. */
+enum class InstrKind : std::uint8_t
+{
+    Alu,    ///< Non-memory, non-branch instruction (1-cycle execute)
+    Load,   ///< Memory read; occupies an LQ entry
+    Store,  ///< Memory write; occupies an SQ entry
+    Branch, ///< Conditional branch with a recorded outcome
+};
+
+/**
+ * One decoded instruction from a trace.
+ *
+ * @c depDistance expresses a data dependence on an older instruction:
+ * 0 means no modelled dependence, k means this instruction's execution
+ * (for loads: address generation) must wait for the instruction k
+ * positions earlier in program order to complete. Synthetic generators
+ * use this to serialise pointer-chasing loads.
+ */
+struct TraceInstr
+{
+    Addr pc = 0;
+    InstrKind kind = InstrKind::Alu;
+    Addr vaddr = 0;            ///< Byte address for Load/Store
+    bool branchTaken = false;  ///< Outcome for Branch
+    std::uint32_t depDistance = 0;
+};
+
+/**
+ * Infinite instruction stream. Implementations must be deterministic
+ * given their construction parameters.
+ */
+class Workload
+{
+  public:
+    virtual ~Workload() = default;
+
+    /** Stable trace name, e.g. "ligra.pagerank_like.1". */
+    virtual const std::string &name() const = 0;
+
+    /** Suite category, e.g. "Ligra" (used for per-category averages). */
+    virtual const std::string &category() const = 0;
+
+    /** Produce the next instruction in program order. */
+    virtual TraceInstr next() = 0;
+
+    /**
+     * Fresh, rewound copy of this workload. @p seed_offset perturbs the
+     * RNG seed so multi-core mixes of the same trace do not run in
+     * lockstep.
+     */
+    virtual std::unique_ptr<Workload> clone(std::uint64_t seed_offset) const
+        = 0;
+};
+
+} // namespace hermes

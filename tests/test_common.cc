@@ -1,0 +1,205 @@
+// Unit tests for src/common: RNG determinism, saturating counters,
+// statistics helpers and the config parser.
+
+#include <gtest/gtest.h>
+
+#include "common/config.hh"
+#include "common/rng.hh"
+#include "common/sat_counter.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace hermes
+{
+namespace
+{
+
+TEST(Types, AddressDecomposition)
+{
+    const Addr a = 0x12345678;
+    EXPECT_EQ(lineAddr(a), a >> 6);
+    EXPECT_EQ(pageNumber(a), a >> 12);
+    EXPECT_EQ(byteOffsetInLine(a), a & 63u);
+    EXPECT_EQ(lineOffsetInPage(a), (a >> 6) & 63u);
+    EXPECT_EQ(wordOffsetInLine(a), (a >> 2) & 15u);
+}
+
+TEST(Types, GeometryConstants)
+{
+    EXPECT_EQ(kBlockSize, 64u);
+    EXPECT_EQ(kPageSize, 4096u);
+    EXPECT_EQ(kBlocksPerPage, 64u);
+}
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 3);
+}
+
+TEST(Rng, BelowStaysInRange)
+{
+    Rng r(7);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(r.below(17), 17u);
+}
+
+TEST(Rng, UniformStaysInUnitInterval)
+{
+    Rng r(9);
+    for (int i = 0; i < 10000; ++i) {
+        const double u = r.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, UniformMeanIsCentred)
+{
+    Rng r(11);
+    double sum = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        sum += r.uniform();
+    EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(SignedSatCounter, SaturatesAtFiveBitBounds)
+{
+    SignedSatCounter c(5);
+    for (int i = 0; i < 100; ++i)
+        c.increment();
+    EXPECT_EQ(c.value(), 15);
+    EXPECT_TRUE(c.saturatedHigh());
+    for (int i = 0; i < 100; ++i)
+        c.decrement();
+    EXPECT_EQ(c.value(), -16);
+    EXPECT_TRUE(c.saturatedLow());
+}
+
+TEST(SignedSatCounter, InitialClamped)
+{
+    SignedSatCounter c(3, 100);
+    EXPECT_EQ(c.value(), 3);
+    SignedSatCounter d(3, -100);
+    EXPECT_EQ(d.value(), -4);
+}
+
+TEST(SatCounter, TwoBitHysteresis)
+{
+    SatCounter c(2);
+    EXPECT_FALSE(c.taken());
+    c.increment();
+    EXPECT_FALSE(c.taken()); // value 1, max 3
+    c.increment();
+    EXPECT_TRUE(c.taken());
+    c.increment();
+    c.increment();
+    EXPECT_EQ(c.value(), 3u);
+    c.decrement();
+    c.decrement();
+    EXPECT_FALSE(c.taken());
+}
+
+TEST(Stats, MeanAndGeomean)
+{
+    EXPECT_DOUBLE_EQ(mean({1, 2, 3}), 2.0);
+    EXPECT_DOUBLE_EQ(mean({}), 0.0);
+    EXPECT_NEAR(geomean({1.0, 4.0}), 2.0, 1e-12);
+    EXPECT_NEAR(geomean({2.0, 2.0, 2.0}), 2.0, 1e-12);
+}
+
+TEST(Stats, Percentile)
+{
+    std::vector<double> xs = {1, 2, 3, 4, 5};
+    EXPECT_DOUBLE_EQ(percentile(xs, 0), 1.0);
+    EXPECT_DOUBLE_EQ(percentile(xs, 50), 3.0);
+    EXPECT_DOUBLE_EQ(percentile(xs, 100), 5.0);
+    EXPECT_DOUBLE_EQ(percentile(xs, 25), 2.0);
+}
+
+TEST(Stats, BoxStatsBasic)
+{
+    const BoxStats b = boxStats({1, 2, 3, 4, 100});
+    EXPECT_DOUBLE_EQ(b.min, 1);
+    EXPECT_DOUBLE_EQ(b.max, 100);
+    EXPECT_DOUBLE_EQ(b.median, 3);
+    EXPECT_DOUBLE_EQ(b.mean, 22);
+    EXPECT_LE(b.whiskerHigh, 100);
+}
+
+TEST(Stats, SummaryAccumulates)
+{
+    Summary s;
+    s.add(3);
+    s.add(1);
+    s.add(2);
+    EXPECT_EQ(s.count(), 3u);
+    EXPECT_DOUBLE_EQ(s.mean(), 2.0);
+    EXPECT_DOUBLE_EQ(s.min(), 1.0);
+    EXPECT_DOUBLE_EQ(s.max(), 3.0);
+}
+
+TEST(Stats, HistogramBinsAndOverflow)
+{
+    Histogram h(0, 10, 5);
+    h.add(-1);
+    h.add(0);
+    h.add(9.99);
+    h.add(10);
+    h.add(5);
+    EXPECT_EQ(h.underflow(), 1u);
+    EXPECT_EQ(h.overflow(), 1u);
+    EXPECT_EQ(h.binCount(0), 1u);
+    EXPECT_EQ(h.binCount(4), 1u);
+    EXPECT_EQ(h.binCount(2), 1u);
+    EXPECT_EQ(h.total(), 5u);
+}
+
+TEST(Config, ParsesKeyValueLines)
+{
+    Config c;
+    EXPECT_TRUE(c.parse("a = 1\n# comment\n\nb=hello\nc = 2.5\nd=true\n"));
+    EXPECT_EQ(c.get("a", std::int64_t{0}), 1);
+    EXPECT_EQ(c.get("b", std::string("x")), "hello");
+    EXPECT_DOUBLE_EQ(c.get("c", 0.0), 2.5);
+    EXPECT_TRUE(c.get("d", false));
+    EXPECT_FALSE(c.contains("nope"));
+}
+
+TEST(Config, MalformedLinesReported)
+{
+    Config c;
+    EXPECT_FALSE(c.parse("novalue\n"));
+    EXPECT_FALSE(c.parse("= 3\n"));
+}
+
+TEST(Config, ArgsParsing)
+{
+    const char *argv[] = {"prog", "--traces=3", "name=x", "ignored"};
+    Config c;
+    c.parseArgs(4, argv);
+    EXPECT_EQ(c.get("traces", std::int64_t{0}), 3);
+    EXPECT_EQ(c.get("name", std::string()), "x");
+}
+
+TEST(Config, LaterKeysOverride)
+{
+    Config c;
+    c.parse("k = 1\nk = 2\n");
+    EXPECT_EQ(c.get("k", std::int64_t{0}), 2);
+    EXPECT_EQ(c.keys().size(), 1u);
+}
+
+} // namespace
+} // namespace hermes

@@ -1,0 +1,293 @@
+// Tests for the DDR4 memory controller: timing classes, bus
+// serialisation, merging, write handling and the Hermes datapath
+// (merge / drop semantics, §6.2).
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "dram/dram.hh"
+#include "test_helpers.hh"
+
+namespace hermes
+{
+namespace
+{
+
+using test::loadReq;
+using test::RecordingClient;
+
+struct DramHarness
+{
+    explicit DramHarness(DramParams p = DramParams{}) : dram(p)
+    {
+        dram.setClient(0, &client);
+    }
+
+    void
+    run(Cycle cycles)
+    {
+        for (Cycle i = 0; i < cycles; ++i)
+            dram.tick(++now);
+    }
+
+    /** Cycles until the next response arrives (asserts it does). */
+    Cycle
+    latencyOfNextResponse(Cycle limit = 2000)
+    {
+        const std::size_t before = client.responses.size();
+        const Cycle start = now;
+        while (client.responses.size() == before && now < start + limit)
+            run(1);
+        EXPECT_GT(client.responses.size(), before);
+        return now - start;
+    }
+
+    DramController dram;
+    RecordingClient client;
+    Cycle now = 0;
+};
+
+TEST(Dram, ClosedRowLatency)
+{
+    DramHarness h;
+    h.dram.addRead(loadReq(0x10000));
+    // tRCD + tCAS + burst = 50 + 50 + 10 = 110.
+    const Cycle lat = h.latencyOfNextResponse();
+    EXPECT_GE(lat, 110u);
+    EXPECT_LE(lat, 115u);
+    EXPECT_EQ(h.dram.stats().rowMisses, 1u);
+}
+
+TEST(Dram, RowHitFasterThanConflict)
+{
+    DramHarness h;
+    h.dram.addRead(loadReq(0x10000));
+    h.latencyOfNextResponse();
+
+    // Same row: row hit (tCAS + burst = 60).
+    h.dram.addRead(loadReq(0x10040, 0x400000, 0, 2));
+    const Cycle hit_lat = h.latencyOfNextResponse();
+    EXPECT_GE(hit_lat, 60u);
+    EXPECT_LE(hit_lat, 65u);
+    EXPECT_EQ(h.dram.stats().rowHits, 1u);
+
+    // Different row, same bank: conflict (tRP + tRCD + tCAS + burst).
+    const DramParams &p = h.dram.params();
+    const unsigned banks = p.ranksPerChannel * p.banksPerRank;
+    const Addr conflict =
+        0x10000 + static_cast<Addr>(p.rowBufferBytes) * banks;
+    h.dram.addRead(loadReq(conflict, 0x400000, 0, 3));
+    const Cycle conf_lat = h.latencyOfNextResponse();
+    EXPECT_GE(conf_lat, 160u);
+    EXPECT_EQ(h.dram.stats().rowConflicts, 1u);
+}
+
+TEST(Dram, RowHitsPipelineAtBusRate)
+{
+    DramHarness h;
+    // 8 sequential lines in the same row: after the activation, each
+    // additional line should cost ~the bus burst (10 cycles), not tCAS.
+    for (int i = 0; i < 8; ++i)
+        h.dram.addRead(loadReq(0x20000 + i * 64, 0x400000, 0, i + 1));
+    const Cycle start = h.now;
+    while (h.client.responses.size() < 8 && h.now < start + 2000)
+        h.run(1);
+    ASSERT_EQ(h.client.responses.size(), 8u);
+    const Cycle total = h.now - start;
+    // 110 for the first + ~7*10 for the rest, plus scheduling slack.
+    EXPECT_LE(total, 110 + 7 * 10 + 30);
+}
+
+TEST(Dram, BankParallelismOverlapsActivations)
+{
+    DramHarness h;
+    const DramParams &p = h.dram.params();
+    // Two reads to different banks: total time well under 2x serial.
+    h.dram.addRead(loadReq(0x10000, 0x400000, 0, 1));
+    h.dram.addRead(loadReq(0x10000 + p.rowBufferBytes, 0x400000, 0, 2));
+    const Cycle start = h.now;
+    while (h.client.responses.size() < 2 && h.now < start + 2000)
+        h.run(1);
+    EXPECT_LT(h.now - start, 180u); // serial would be ~220
+}
+
+TEST(Dram, ReadsMergeOnSameLine)
+{
+    DramHarness h;
+    h.dram.addRead(loadReq(0x30000, 0x400000, 0, 1));
+    h.dram.addRead(loadReq(0x30000, 0x400004, 0, 2));
+    h.run(300);
+    EXPECT_EQ(h.client.responses.size(), 2u);
+    EXPECT_EQ(h.dram.stats().demandReads, 1u);
+    EXPECT_EQ(h.dram.stats().readMerges, 1u);
+}
+
+TEST(Dram, WriteQueueForwardsToReads)
+{
+    DramHarness h;
+    MemRequest wb = loadReq(0x40000);
+    wb.type = AccessType::Writeback;
+    h.dram.addWrite(wb);
+    h.run(1);
+    h.dram.addRead(loadReq(0x40000, 0x400000, 0, 7));
+    h.run(5);
+    ASSERT_EQ(h.client.responses.size(), 1u); // forwarded immediately
+    EXPECT_EQ(h.dram.stats().wqForwards, 1u);
+}
+
+TEST(Dram, WritesEventuallyDrain)
+{
+    DramHarness h;
+    for (int i = 0; i < 10; ++i) {
+        MemRequest wb = loadReq(0x50000 + i * 64);
+        wb.type = AccessType::Writeback;
+        h.dram.addWrite(wb);
+    }
+    h.run(3000);
+    EXPECT_EQ(h.dram.stats().writes, 10u);
+}
+
+TEST(Dram, ReadQueueFullRejects)
+{
+    DramParams p;
+    p.rqSize = 4;
+    DramHarness h(p);
+    for (int i = 0; i < 4; ++i)
+        EXPECT_TRUE(h.dram.addRead(
+            loadReq(0x100000 + i * 0x10000, 0x400000, 0, i + 1)));
+    EXPECT_FALSE(h.dram.addRead(loadReq(0x900000, 0x400000, 0, 9)));
+}
+
+TEST(Dram, BandwidthScalesWithMtps)
+{
+    DramParams slow;
+    slow.mtps = 200;
+    DramParams fast;
+    fast.mtps = 12800;
+    EXPECT_GT(slow.busCyclesPerLine(), fast.busCyclesPerLine());
+    EXPECT_EQ(DramParams{}.busCyclesPerLine(), 10u); // DDR4-3200 @ 4GHz
+}
+
+TEST(Dram, ChannelInterleavingByLine)
+{
+    DramParams p;
+    p.channels = 4;
+    DramHarness h(p);
+    // 4 consecutive lines land in 4 different channels: all four can
+    // be in flight with full parallelism.
+    for (int i = 0; i < 4; ++i)
+        h.dram.addRead(loadReq(i * 64, 0x400000, 0, i + 1));
+    const Cycle start = h.now;
+    while (h.client.responses.size() < 4 && h.now < start + 1000)
+        h.run(1);
+    EXPECT_LE(h.now - start, 130u); // ~one access, fully overlapped
+}
+
+// ---- Hermes datapath at the MC (paper §6.2) --------------------------
+
+TEST(DramHermes, DroppedWhenNoRegularArrives)
+{
+    DramHarness h;
+    MemRequest hq = loadReq(0x60000);
+    hq.type = AccessType::Hermes;
+    EXPECT_TRUE(h.dram.addHermes(hq));
+    h.run(500);
+    EXPECT_EQ(h.dram.stats().hermesIssued, 1u);
+    EXPECT_EQ(h.dram.stats().hermesDropped, 1u);
+    EXPECT_EQ(h.dram.stats().hermesUseful, 0u);
+    // Crucially: no data was returned to any cache (no fill).
+    EXPECT_TRUE(h.client.responses.empty());
+}
+
+TEST(DramHermes, RegularMergesIntoHermesAndCompletesEarlier)
+{
+    DramHarness h;
+    MemRequest hq = loadReq(0x70000);
+    hq.type = AccessType::Hermes;
+    h.dram.addHermes(hq);
+    h.run(49); // Hermes request under way (issue latency elapsed)
+
+    h.dram.addRead(loadReq(0x70000, 0x400000, 0, 5));
+    const Cycle lat = h.latencyOfNextResponse();
+    ASSERT_EQ(h.client.responses.size(), 1u);
+    EXPECT_TRUE(h.client.responses[0].servedByHermes);
+    EXPECT_EQ(h.dram.stats().hermesUseful, 1u);
+    EXPECT_EQ(h.dram.stats().hermesDropped, 0u);
+    // The regular read waited only the residual latency (~110-49).
+    EXPECT_LT(lat, 75u);
+}
+
+TEST(DramHermes, HermesMergesIntoExistingRead)
+{
+    DramHarness h;
+    h.dram.addRead(loadReq(0x80000));
+    MemRequest hq = loadReq(0x80000);
+    hq.type = AccessType::Hermes;
+    EXPECT_TRUE(h.dram.addHermes(hq));
+    EXPECT_EQ(h.dram.stats().hermesMergedIntoExisting, 1u);
+    EXPECT_EQ(h.dram.stats().hermesIssued, 0u);
+    h.run(300);
+    EXPECT_EQ(h.client.responses.size(), 1u);
+    // The pre-existing demand read is not marked Hermes-served.
+    EXPECT_FALSE(h.client.responses[0].servedByHermes);
+}
+
+TEST(DramHermes, RejectedWhenQueueFull)
+{
+    DramParams p;
+    p.rqSize = 1;
+    DramHarness h(p);
+    h.dram.addRead(loadReq(0x10000));
+    MemRequest hq = loadReq(0x90000);
+    hq.type = AccessType::Hermes;
+    EXPECT_FALSE(h.dram.addHermes(hq));
+    EXPECT_EQ(h.dram.stats().hermesRejected, 1u);
+}
+
+TEST(DramHermes, CountsAsMainMemoryRequest)
+{
+    DramHarness h;
+    MemRequest hq = loadReq(0xA0000);
+    hq.type = AccessType::Hermes;
+    h.dram.addHermes(hq);
+    h.run(500);
+    EXPECT_EQ(h.dram.stats().totalReads(), 1u);
+    EXPECT_EQ(h.dram.stats().hermesReads, 1u);
+}
+
+/** Property: under random traffic every accepted read gets exactly one
+ * response per waiter, and row stats partition all accesses. */
+class DramRandomTraffic : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(DramRandomTraffic, ConservesRequests)
+{
+    DramParams p;
+    p.channels = GetParam();
+    DramHarness h(p);
+    Rng rng(99);
+    unsigned accepted = 0;
+    for (int i = 0; i < 400; ++i) {
+        const Addr addr = (rng.below(1 << 16)) << 6;
+        if (rng.chance(0.2)) {
+            MemRequest wb = loadReq(addr);
+            wb.type = AccessType::Writeback;
+            h.dram.addWrite(wb);
+        } else if (h.dram.addRead(loadReq(addr, 0x400000, 0, i))) {
+            ++accepted;
+        }
+        h.run(3);
+    }
+    h.run(30000);
+    EXPECT_EQ(h.client.responses.size(), accepted);
+    const auto &s = h.dram.stats();
+    EXPECT_EQ(s.rowHits + s.rowMisses + s.rowConflicts,
+              s.totalReads() + s.writes);
+}
+
+INSTANTIATE_TEST_SUITE_P(Channels, DramRandomTraffic,
+                         ::testing::Values(1u, 2u, 4u));
+
+} // namespace
+} // namespace hermes

@@ -1,0 +1,107 @@
+#pragma once
+
+/**
+ * @file
+ * Shared fakes for unit-testing memory-system components in isolation:
+ * a scriptable backing memory (fixed-latency MemDevice) and a recording
+ * client that captures returned responses.
+ */
+
+#include <deque>
+#include <vector>
+
+#include "cache/mem_iface.hh"
+
+namespace hermes::test
+{
+
+/** Records every response it receives. */
+class RecordingClient : public MemClient
+{
+  public:
+    void returnData(const MemRequest &req) override
+    {
+        responses.push_back(req);
+    }
+
+    bool
+    sawLine(Addr line) const
+    {
+        for (const auto &r : responses)
+            if (r.line() == line)
+                return true;
+        return false;
+    }
+
+    std::vector<MemRequest> responses;
+};
+
+/**
+ * Fixed-latency backing store standing in for everything below the
+ * component under test. Responds to reads after @c latency cycles via
+ * the wired client; counts writes.
+ */
+class FakeMemory : public MemDevice
+{
+  public:
+    explicit FakeMemory(Cycle latency = 50) : latency_(latency) {}
+
+    void setClient(MemClient *client) { client_ = client; }
+
+    bool
+    addRead(const MemRequest &req) override
+    {
+        if (rejectReads)
+            return false;
+        reads.push_back(req);
+        pending_.push_back({req, now_ + latency_});
+        return true;
+    }
+
+    bool
+    addWrite(const MemRequest &req) override
+    {
+        writes.push_back(req);
+        return true;
+    }
+
+    void
+    tick(Cycle now) override
+    {
+        now_ = now;
+        while (!pending_.empty() && pending_.front().second <= now) {
+            MemRequest resp = pending_.front().first;
+            pending_.pop_front();
+            resp.servedFrom = MemLevel::Dram;
+            resp.cycleMcArrive = now;
+            if (client_ != nullptr)
+                client_->returnData(resp);
+        }
+    }
+
+    bool rejectReads = false;
+    std::vector<MemRequest> reads;
+    std::vector<MemRequest> writes;
+
+  private:
+    Cycle latency_;
+    Cycle now_ = 0;
+    MemClient *client_ = nullptr;
+    std::deque<std::pair<MemRequest, Cycle>> pending_;
+};
+
+/** Make a load request to a byte address. */
+inline MemRequest
+loadReq(Addr address, Addr pc = 0x400000, int core = 0,
+        std::uint64_t instr = 1)
+{
+    MemRequest r;
+    r.address = address;
+    r.pc = pc;
+    r.coreId = core;
+    r.type = AccessType::Load;
+    r.instrId = instr;
+    return r;
+}
+
+} // namespace hermes::test

@@ -1,0 +1,262 @@
+// Tests for the synthetic trace substrate: determinism, instruction-mix
+// sanity, dependence wiring and the suite registry.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "trace/suite.hh"
+#include "trace/synthetic.hh"
+
+namespace hermes
+{
+namespace
+{
+
+TEST(Trace, DeterministicForSameParams)
+{
+    const TraceSpec spec = findTrace("ligra.bfs_like.0");
+    auto a = spec.make();
+    auto b = spec.make();
+    for (int i = 0; i < 20000; ++i) {
+        const TraceInstr x = a->next();
+        const TraceInstr y = b->next();
+        ASSERT_EQ(x.pc, y.pc);
+        ASSERT_EQ(static_cast<int>(x.kind), static_cast<int>(y.kind));
+        ASSERT_EQ(x.vaddr, y.vaddr);
+        ASSERT_EQ(x.branchTaken, y.branchTaken);
+        ASSERT_EQ(x.depDistance, y.depDistance);
+    }
+}
+
+TEST(Trace, CloneWithSeedOffsetDiverges)
+{
+    const TraceSpec spec = findTrace("cvp.server_db_like.0");
+    auto a = spec.make();
+    auto b = a->clone(1);
+    EXPECT_EQ(b->name(), a->name());
+    int same = 0;
+    const int n = 5000;
+    for (int i = 0; i < n; ++i) {
+        const TraceInstr x = a->next();
+        const TraceInstr y = b->next();
+        same += (x.vaddr == y.vaddr &&
+                 x.kind == y.kind);
+    }
+    EXPECT_LT(same, n);
+}
+
+TEST(Trace, CloneWithZeroOffsetIsIdentical)
+{
+    const TraceSpec spec = findTrace("spec06.gcc_like.0");
+    auto a = spec.make();
+    auto b = a->clone(0);
+    for (int i = 0; i < 2000; ++i)
+        ASSERT_EQ(a->next().vaddr, b->next().vaddr);
+}
+
+TEST(Trace, ChaseLoadsAreSerialised)
+{
+    SyntheticParams p;
+    p.pattern = Pattern::PointerChase;
+    p.chaseChains = 1;
+    p.hitLoadFraction = 0;
+    p.storeFraction = 0;
+    SyntheticWorkload wl(p);
+
+    // Collect instructions and verify every chase load (except the
+    // first) depends on an older *load*.
+    std::vector<TraceInstr> instrs;
+    for (int i = 0; i < 5000; ++i)
+        instrs.push_back(wl.next());
+    int chase_loads = 0;
+    for (std::size_t i = 0; i < instrs.size(); ++i) {
+        const auto &t = instrs[i];
+        if (t.kind != InstrKind::Load || t.depDistance == 0)
+            continue;
+        ++chase_loads;
+        ASSERT_GE(i, t.depDistance);
+        const auto &producer = instrs[i - t.depDistance];
+        EXPECT_EQ(static_cast<int>(producer.kind),
+                  static_cast<int>(InstrKind::Load));
+    }
+    EXPECT_GT(chase_loads, 100);
+}
+
+TEST(Trace, MlpLimitCreatesLoadChains)
+{
+    SyntheticParams p;
+    p.pattern = Pattern::Stream;
+    p.loadMlp = 4;
+    p.storeFraction = 0;
+    SyntheticWorkload wl(p);
+    std::vector<TraceInstr> instrs;
+    for (int i = 0; i < 3000; ++i)
+        instrs.push_back(wl.next());
+    int chained = 0;
+    for (std::size_t i = 0; i < instrs.size(); ++i) {
+        const auto &t = instrs[i];
+        if (t.kind == InstrKind::Load && t.depDistance > 0) {
+            ASSERT_GE(i, t.depDistance);
+            EXPECT_EQ(static_cast<int>(instrs[i - t.depDistance].kind),
+                      static_cast<int>(InstrKind::Load));
+            ++chained;
+        }
+    }
+    EXPECT_GT(chained, 100);
+}
+
+TEST(Trace, StreamSweepsSequentially)
+{
+    SyntheticParams p;
+    p.pattern = Pattern::Stream;
+    p.strideBytes = 8;
+    p.storeFraction = 0;
+    SyntheticWorkload wl(p);
+    Addr prev = 0;
+    bool first = true;
+    for (int i = 0; i < 10000; ++i) {
+        const TraceInstr t = wl.next();
+        if (t.kind != InstrKind::Load)
+            continue;
+        if (!first) {
+            EXPECT_EQ(t.vaddr, prev + 8);
+        }
+        prev = t.vaddr;
+        first = false;
+    }
+}
+
+TEST(Trace, StreamWrapsAtFootprint)
+{
+    SyntheticParams p;
+    p.pattern = Pattern::Stream;
+    p.footprintBytes = kPageSize; // minimal footprint
+    p.strideBytes = 512;
+    p.storeFraction = 0;
+    SyntheticWorkload wl(p);
+    std::set<Addr> offsets;
+    for (int i = 0; i < 1000; ++i) {
+        const TraceInstr t = wl.next();
+        if (t.kind == InstrKind::Load)
+            offsets.insert(t.vaddr & (kPageSize - 1));
+    }
+    EXPECT_EQ(offsets.size(), kPageSize / 512);
+}
+
+TEST(Trace, LoopBranchesMostlyTaken)
+{
+    SyntheticParams p;
+    p.pattern = Pattern::Stream;
+    p.dataBranchFraction = 0;
+    SyntheticWorkload wl(p);
+    int taken = 0, total = 0;
+    for (int i = 0; i < 50000; ++i) {
+        const TraceInstr t = wl.next();
+        if (t.kind == InstrKind::Branch) {
+            ++total;
+            taken += t.branchTaken;
+        }
+    }
+    ASSERT_GT(total, 100);
+    EXPECT_GT(static_cast<double>(taken) / total, 0.9);
+}
+
+TEST(Trace, SuiteHasFiveCategories)
+{
+    std::set<std::string> cats;
+    for (const auto &spec : fullSuite())
+        cats.insert(spec.category());
+    EXPECT_EQ(cats.size(), 5u);
+    for (const auto &c : suiteCategories())
+        EXPECT_TRUE(cats.count(c)) << c;
+}
+
+TEST(Trace, SuiteNamesUnique)
+{
+    std::set<std::string> names;
+    for (const auto &spec : fullSuite())
+        EXPECT_TRUE(names.insert(spec.name()).second) << spec.name();
+    EXPECT_GE(names.size(), 28u);
+}
+
+TEST(Trace, QuickSuiteIsSubsetOfFull)
+{
+    std::set<std::string> full;
+    for (const auto &spec : fullSuite())
+        full.insert(spec.name());
+    for (const auto &spec : quickSuite())
+        EXPECT_TRUE(full.count(spec.name())) << spec.name();
+}
+
+TEST(Trace, FindTraceThrowsOnUnknown)
+{
+    EXPECT_THROW(findTrace("definitely.not.a.trace"),
+                 std::out_of_range);
+}
+
+/** Property sweep: every suite trace emits a sane instruction mix. */
+class TraceMixTest : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(TraceMixTest, InstructionMixIsSane)
+{
+    const TraceSpec spec = findTrace(GetParam());
+    auto wl = spec.make();
+    std::map<InstrKind, int> mix;
+    const int n = 30000;
+    for (int i = 0; i < n; ++i)
+        ++mix[wl->next().kind];
+
+    const double loads = mix[InstrKind::Load];
+    const double stores = mix[InstrKind::Store];
+    const double branches = mix[InstrKind::Branch];
+    // Loads between 4% and 60%; branches present but bounded; stores
+    // never dominate loads.
+    EXPECT_GT(loads / n, 0.04);
+    EXPECT_LT(loads / n, 0.60);
+    EXPECT_GT(branches / n, 0.005);
+    EXPECT_LT(branches / n, 0.40);
+    EXPECT_LT(stores, loads);
+}
+
+TEST_P(TraceMixTest, DependencesPointBackwardsAtLoads)
+{
+    const TraceSpec spec = findTrace(GetParam());
+    auto wl = spec.make();
+    std::vector<TraceInstr> instrs;
+    for (int i = 0; i < 20000; ++i)
+        instrs.push_back(wl->next());
+    for (std::size_t i = 0; i < instrs.size(); ++i) {
+        const auto &t = instrs[i];
+        if (t.depDistance == 0)
+            continue;
+        ASSERT_LE(t.depDistance, i) << "dangling dependence";
+        EXPECT_EQ(static_cast<int>(instrs[i - t.depDistance].kind),
+                  static_cast<int>(InstrKind::Load));
+    }
+}
+
+std::vector<std::string>
+allTraceNames()
+{
+    std::vector<std::string> names;
+    for (const auto &spec : fullSuite())
+        names.push_back(spec.name());
+    return names;
+}
+
+INSTANTIATE_TEST_SUITE_P(Suite, TraceMixTest,
+                         ::testing::ValuesIn(allTraceNames()),
+                         [](const auto &info) {
+                             std::string n = info.param;
+                             for (auto &c : n)
+                                 if (c == '.' || c == '-')
+                                     c = '_';
+                             return n;
+                         });
+
+} // namespace
+} // namespace hermes

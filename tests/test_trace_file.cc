@@ -1,0 +1,120 @@
+// Tests for binary trace capture and replay.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "trace/suite.hh"
+#include "trace/trace_file.hh"
+
+namespace hermes
+{
+namespace
+{
+
+class TraceFileTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        path_ = ::testing::TempDir() + "hermes_trace_test.bin";
+    }
+
+    void TearDown() override { std::remove(path_.c_str()); }
+
+    std::string path_;
+};
+
+TEST_F(TraceFileTest, RoundTripPreservesInstructions)
+{
+    const TraceSpec spec = findTrace("ligra.bfs_like.0");
+    auto source = spec.make();
+    ASSERT_TRUE(writeTraceFile(path_, *source, 5000, spec.name(),
+                               spec.category()));
+
+    FileWorkload replay(path_);
+    EXPECT_EQ(replay.name(), spec.name());
+    EXPECT_EQ(replay.category(), spec.category());
+    EXPECT_EQ(replay.recordCount(), 5000u);
+
+    auto reference = spec.make();
+    for (int i = 0; i < 5000; ++i) {
+        const TraceInstr a = reference->next();
+        const TraceInstr b = replay.next();
+        ASSERT_EQ(a.pc, b.pc) << i;
+        ASSERT_EQ(static_cast<int>(a.kind), static_cast<int>(b.kind));
+        ASSERT_EQ(a.vaddr, b.vaddr);
+        ASSERT_EQ(a.branchTaken, b.branchTaken);
+        ASSERT_EQ(a.depDistance, b.depDistance);
+    }
+}
+
+TEST_F(TraceFileTest, ReplayLoopsAtEnd)
+{
+    const TraceSpec spec = findTrace("spec06.lbm_like.0");
+    auto source = spec.make();
+    ASSERT_TRUE(writeTraceFile(path_, *source, 100, spec.name(),
+                               spec.category()));
+    FileWorkload replay(path_);
+    std::vector<TraceInstr> first;
+    for (int i = 0; i < 100; ++i)
+        first.push_back(replay.next());
+    for (int i = 0; i < 100; ++i) {
+        const TraceInstr t = replay.next();
+        ASSERT_EQ(t.pc, first[i].pc);
+        ASSERT_EQ(t.vaddr, first[i].vaddr);
+    }
+}
+
+TEST_F(TraceFileTest, CloneRotatesStartPosition)
+{
+    const TraceSpec spec = findTrace("spec06.lbm_like.0");
+    auto source = spec.make();
+    ASSERT_TRUE(writeTraceFile(path_, *source, 500, spec.name(),
+                               spec.category()));
+    FileWorkload replay(path_);
+    auto copy = replay.clone(1);
+    EXPECT_EQ(copy->name(), replay.name());
+    // Different phase: the very first record should differ.
+    const TraceInstr a = replay.next();
+    const TraceInstr b = copy->next();
+    EXPECT_TRUE(a.pc != b.pc || a.vaddr != b.vaddr ||
+                a.kind != b.kind);
+}
+
+TEST_F(TraceFileTest, RejectsMissingFile)
+{
+    EXPECT_THROW(FileWorkload{"/nonexistent/path/trace.bin"},
+                 std::runtime_error);
+}
+
+TEST_F(TraceFileTest, RejectsGarbageFile)
+{
+    std::ofstream out(path_, std::ios::binary);
+    out << "this is not a trace file at all";
+    out.close();
+    EXPECT_THROW(FileWorkload{path_}, std::runtime_error);
+}
+
+TEST_F(TraceFileTest, RejectsTruncatedFile)
+{
+    const TraceSpec spec = findTrace("spec06.lbm_like.0");
+    auto source = spec.make();
+    ASSERT_TRUE(writeTraceFile(path_, *source, 100, spec.name(),
+                               spec.category()));
+    // Truncate the record area.
+    std::ifstream in(path_, std::ios::binary);
+    std::string data((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    in.close();
+    std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+    out.write(data.data(),
+              static_cast<std::streamsize>(data.size() / 2));
+    out.close();
+    EXPECT_THROW(FileWorkload{path_}, std::runtime_error);
+}
+
+} // namespace
+} // namespace hermes
