@@ -45,8 +45,9 @@ evaluate(const PopetParams &params, const SimBudget &b,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    initCli(argc, argv);
     const SimBudget b = budget(80'000, 200'000);
     const auto nopf = runSuite(cfgNoPrefetch(), b);
 

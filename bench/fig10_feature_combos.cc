@@ -39,8 +39,9 @@ runMask(unsigned mask, const SimBudget &b)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    initCli(argc, argv);
     const SimBudget b = budget(100'000, 250'000);
     static const char *feature_names[] = {
         "PC^cl_offset", "PC^byte_offset", "PC+first_access",

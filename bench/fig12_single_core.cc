@@ -17,8 +17,9 @@ using namespace hermes;
 using namespace hermes::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    initCli(argc, argv);
     const SimBudget b = budget(120'000, 300'000);
     const auto nopf = runSuite(cfgNoPrefetch(), b);
 

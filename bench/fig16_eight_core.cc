@@ -48,8 +48,9 @@ mixIpcSum(const RunStats &r)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    initCli(argc, argv);
     SimBudget b = budget(40'000, 100'000);
 
     struct Named
@@ -72,16 +73,15 @@ main()
 
     const auto mix_list = mixes();
     std::vector<double> base_ipc;
-    for (const auto &m : mix_list)
-        base_ipc.push_back(mixIpcSum(simulateMix(base8, m, b)));
+    for (const RunStats &r : runMixes(base8, mix_list, b, "nopf8"))
+        base_ipc.push_back(mixIpcSum(r));
 
     Table t({"config", "geomean speedup vs 8-core no-pf"});
     for (const auto &c : cfgs) {
+        const auto runs = runMixes(c.cfg, mix_list, b, c.name);
         std::vector<double> speedups;
-        for (std::size_t i = 0; i < mix_list.size(); ++i) {
-            const RunStats r = simulateMix(c.cfg, mix_list[i], b);
-            speedups.push_back(mixIpcSum(r) / base_ipc[i]);
-        }
+        for (std::size_t i = 0; i < runs.size(); ++i)
+            speedups.push_back(mixIpcSum(runs[i]) / base_ipc[i]);
         t.addRow({c.name, Table::fmt(geomean(speedups))});
     }
     t.print("Fig. 16: eight-core speedup (4 homogeneous + 1 hetero mix)");

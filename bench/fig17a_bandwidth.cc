@@ -16,8 +16,9 @@ using namespace hermes;
 using namespace hermes::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    initCli(argc, argv);
     const SimBudget b = budget(80'000, 200'000);
 
     Table t({"MTPS", "Hermes", "Pythia", "Pythia+Hermes"});

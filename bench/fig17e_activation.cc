@@ -16,8 +16,9 @@ using namespace hermes;
 using namespace hermes::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    initCli(argc, argv);
     const SimBudget b = budget(100'000, 250'000);
     const auto nopf = runSuite(cfgNoPrefetch(), b);
 

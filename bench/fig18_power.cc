@@ -16,8 +16,9 @@ using namespace hermes;
 using namespace hermes::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    initCli(argc, argv);
     const SimBudget b = budget(120'000, 300'000);
 
     struct Named

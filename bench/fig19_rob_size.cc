@@ -15,8 +15,9 @@ using namespace hermes;
 using namespace hermes::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    initCli(argc, argv);
     const SimBudget b = budget(100'000, 250'000);
 
     Table t({"ROB size", "Hermes", "Pythia", "Pythia+Hermes", "gain"});

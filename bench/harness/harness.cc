@@ -4,19 +4,158 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <mutex>
+#include <unistd.h>
 
 #include "common/stats.hh"
 
 namespace hermes::bench
 {
 
+namespace
+{
+
+CliOptions g_cli;
+
+/** Every grid point simulated by runGrid(), for the exit dump. */
+std::vector<sweep::PointResult> g_all_results;
+std::mutex g_all_results_mutex;
+
+void
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s [--threads N] [--suite quick|full] [--scale F]\n"
+        "          [--csv FILE] [--json FILE] [--progress|--no-progress]\n"
+        "  --threads N   sweep worker threads (default: all cores;\n"
+        "                env HERMES_THREADS)\n"
+        "  --suite S     trace suite (default quick; env"
+        " HERMES_BENCH_SUITE)\n"
+        "  --scale F     scale instruction budgets (env"
+        " HERMES_SIM_SCALE)\n"
+        "  --csv FILE    dump every simulated point as CSV on exit\n"
+        "  --json FILE   dump every simulated point as JSON on exit\n"
+        "  --progress    per-point progress meter on stderr\n",
+        argv0);
+    std::exit(2);
+}
+
+/** Strict integer parse; exits via usage() on any non-numeric input. */
+int
+parseIntOrUsage(const std::string &s, const char *argv0)
+{
+    char *end = nullptr;
+    const long v = std::strtol(s.c_str(), &end, 10);
+    if (s.empty() || end == nullptr || *end != '\0')
+        usage(argv0);
+    return static_cast<int>(v);
+}
+
+void
+flushSweepDumps()
+{
+    std::lock_guard<std::mutex> g(g_all_results_mutex);
+    if (!g_cli.csvPath.empty()) {
+        std::ofstream out(g_cli.csvPath);
+        out << sweep::toCsv(g_all_results);
+        if (!out)
+            std::fprintf(stderr, "warning: could not write %s\n",
+                         g_cli.csvPath.c_str());
+    }
+    if (!g_cli.jsonPath.empty()) {
+        std::ofstream out(g_cli.jsonPath);
+        out << sweep::toJson(g_all_results) << "\n";
+        if (!out)
+            std::fprintf(stderr, "warning: could not write %s\n",
+                         g_cli.jsonPath.c_str());
+    }
+}
+
+} // namespace
+
+void
+initCli(int argc, char **argv)
+{
+    g_cli = CliOptions{};
+    g_cli.progress = isatty(fileno(stderr)) != 0;
+    if (const char *env = std::getenv("HERMES_THREADS"))
+        g_cli.threads = parseIntOrUsage(env, argv[0]);
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&]() -> std::string {
+            if (i + 1 >= argc)
+                usage(argv[0]);
+            return argv[++i];
+        };
+        if (arg == "--threads") {
+            g_cli.threads = parseIntOrUsage(value(), argv[0]);
+        } else if (arg == "--suite") {
+            g_cli.suiteName = value();
+            if (g_cli.suiteName != "quick" && g_cli.suiteName != "full")
+                usage(argv[0]);
+        } else if (arg == "--scale") {
+            setenv("HERMES_SIM_SCALE", value().c_str(), 1);
+        } else if (arg == "--csv") {
+            g_cli.csvPath = value();
+        } else if (arg == "--json") {
+            g_cli.jsonPath = value();
+        } else if (arg == "--progress") {
+            g_cli.progress = true;
+        } else if (arg == "--no-progress") {
+            g_cli.progress = false;
+        } else {
+            usage(argv[0]);
+        }
+    }
+    if (!g_cli.csvPath.empty() || !g_cli.jsonPath.empty())
+        std::atexit(flushSweepDumps);
+}
+
+const CliOptions &
+cli()
+{
+    return g_cli;
+}
+
 std::vector<TraceSpec>
 suite()
 {
-    const char *env = std::getenv("HERMES_BENCH_SUITE");
-    if (env != nullptr && std::strcmp(env, "full") == 0)
-        return fullSuite();
-    return quickSuite();
+    std::string name = g_cli.suiteName;
+    if (name.empty()) {
+        const char *env = std::getenv("HERMES_BENCH_SUITE");
+        name = env != nullptr ? env : "quick";
+    }
+    return name == "full" ? fullSuite() : quickSuite();
+}
+
+sweep::SweepEngine
+engine()
+{
+    sweep::SweepOptions opts;
+    opts.threads = g_cli.threads;
+    if (g_cli.progress) {
+        opts.onProgress = [](std::size_t done, std::size_t total,
+                             const sweep::PointResult &r) {
+            std::fprintf(stderr, "\r[%zu/%zu] %-48.48s", done, total,
+                         r.label.c_str());
+            if (done == total)
+                std::fprintf(stderr, "\n");
+        };
+    }
+    return sweep::SweepEngine(opts);
+}
+
+std::vector<sweep::PointResult>
+runGrid(const std::vector<sweep::GridPoint> &grid)
+{
+    auto results = engine().run(grid);
+    std::lock_guard<std::mutex> g(g_all_results_mutex);
+    g_all_results.insert(g_all_results.end(), results.begin(),
+                         results.end());
+    return results;
 }
 
 SimBudget
@@ -67,14 +206,46 @@ withPredictorOnly(SystemConfig cfg, PredictorKind pred)
 std::vector<TraceResult>
 runSuite(const SystemConfig &cfg, const SimBudget &b)
 {
+    // Successive runSuite() calls get distinct label prefixes so the
+    // --csv/--json exit dump rows stay unique across configs.
+    static int run_seq = 0;
+    const std::string prefix = "run" + std::to_string(run_seq++) + ".";
+
+    const auto specs = suite();
+    std::vector<sweep::GridPoint> grid;
+    grid.reserve(specs.size());
+    for (const auto &spec : specs)
+        grid.push_back({prefix + spec.name(), cfg, {spec}, b});
+
+    const auto results = runGrid(grid);
     std::vector<TraceResult> out;
-    for (const auto &spec : suite()) {
+    out.reserve(specs.size());
+    for (std::size_t i = 0; i < specs.size(); ++i) {
         TraceResult r;
-        r.trace = spec.name();
-        r.category = spec.category();
-        r.stats = simulateOne(cfg, spec, b);
+        r.trace = specs[i].name();
+        r.category = specs[i].category();
+        r.stats = results[i].stats;
         out.push_back(std::move(r));
     }
+    return out;
+}
+
+std::vector<RunStats>
+runMixes(const SystemConfig &cfg,
+         const std::vector<std::vector<TraceSpec>> &mixes,
+         const SimBudget &b, const std::string &label_prefix)
+{
+    std::vector<sweep::GridPoint> grid;
+    grid.reserve(mixes.size());
+    for (std::size_t i = 0; i < mixes.size(); ++i)
+        grid.push_back(
+            {label_prefix + ".mix" + std::to_string(i), cfg, mixes[i], b});
+
+    const auto results = runGrid(grid);
+    std::vector<RunStats> out;
+    out.reserve(results.size());
+    for (const auto &r : results)
+        out.push_back(r.stats);
     return out;
 }
 

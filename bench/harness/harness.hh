@@ -7,10 +7,18 @@
  * aggregation, speedup helpers and table printing. Every figure/table
  * bench binary is a thin driver over these helpers.
  *
+ * Suite runners fan their (config x trace) grids over all cores with
+ * sweep::SweepEngine; results are deterministic at any thread count.
+ *
  * Environment knobs:
  *  - HERMES_SIM_SCALE: scales instruction budgets (default 1.0);
  *  - HERMES_BENCH_SUITE=quick|full: trace list (default quick, so the
- *    whole bench directory finishes in minutes on a laptop).
+ *    whole bench directory finishes in minutes on a laptop);
+ *  - HERMES_THREADS: worker threads (default: all hardware threads).
+ *
+ * CLI flags (initCli; they win over the environment):
+ *  --threads N, --suite quick|full, --scale F, --csv FILE,
+ *  --json FILE, --progress, --no-progress.
  */
 
 #include <cstdint>
@@ -21,13 +29,48 @@
 #include "sim/power.hh"
 #include "sim/simulator.hh"
 #include "sim/system.hh"
+#include "sweep/sweep.hh"
 #include "trace/suite.hh"
 
 namespace hermes::bench
 {
 
-/** The trace list selected by HERMES_BENCH_SUITE. */
+/** Options shared by every figure/table driver, set by initCli(). */
+struct CliOptions
+{
+    /** Sweep worker threads; 0 = all hardware threads. */
+    int threads = 0;
+    /** "quick" or "full"; empty defers to HERMES_BENCH_SUITE. */
+    std::string suiteName;
+    /** Progress meter on stderr (default: only when a terminal). */
+    bool progress = false;
+    /** Write every simulated grid point as CSV/JSON on exit. */
+    std::string csvPath;
+    std::string jsonPath;
+};
+
+/**
+ * Parse the shared bench flags (call first in every driver's main).
+ * Unknown flags abort with a usage message; --scale re-exports
+ * HERMES_SIM_SCALE so budget() picks it up.
+ */
+void initCli(int argc, char **argv);
+
+/** The options parsed by initCli() (defaults if never called). */
+const CliOptions &cli();
+
+/** The trace list selected by --suite / HERMES_BENCH_SUITE. */
 std::vector<TraceSpec> suite();
+
+/** Engine honouring --threads and --progress; used by runSuite(). */
+sweep::SweepEngine engine();
+
+/**
+ * Run a labelled grid through engine() and record every point for the
+ * --csv/--json exit dump. Building block for custom fan-outs.
+ */
+std::vector<sweep::PointResult>
+runGrid(const std::vector<sweep::GridPoint> &grid);
 
 /** Simulation budget honouring HERMES_SIM_SCALE. */
 SimBudget budget(std::uint64_t warmup = 60'000,
@@ -52,9 +95,18 @@ struct TraceResult
     RunStats stats;
 };
 
-/** Run a config over the whole suite (single-core). */
+/** Run a config over the whole suite (single-core, parallel). */
 std::vector<TraceResult> runSuite(const SystemConfig &cfg,
                                   const SimBudget &b);
+
+/**
+ * Run a multi-core config over a list of workload mixes (one trace per
+ * core each), fanned over the engine; results in mix order.
+ */
+std::vector<RunStats> runMixes(const SystemConfig &cfg,
+                               const std::vector<std::vector<TraceSpec>> &mixes,
+                               const SimBudget &b,
+                               const std::string &label_prefix);
 
 /** Geomean over per-trace ratios vs a baseline run of the same suite. */
 double geomeanSpeedup(const std::vector<TraceResult> &test,

@@ -13,8 +13,9 @@ using namespace hermes;
 using namespace hermes::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    initCli(argc, argv);
     Popet popet;
 
     Table t({"structure", "size (KB)"});

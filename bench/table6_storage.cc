@@ -16,8 +16,9 @@ using namespace hermes;
 using namespace hermes::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    initCli(argc, argv);
     Table t({"mechanism", "modelled (KB)", "paper (KB)"});
 
     Hmp hmp;

@@ -1,6 +1,8 @@
 #include "sim/report.hh"
 
+#include <cstdio>
 #include <sstream>
+#include <vector>
 
 #include "sim/power.hh"
 
@@ -92,17 +94,34 @@ formatReport(const RunStats &stats)
     return os.str();
 }
 
-std::string
-csvHeader()
+namespace
 {
-    return "label,cycles,instrs,ipc,llc_mpki,loads,offchip_loads,"
-           "pred_accuracy,pred_coverage,dram_reads,dram_writes,"
-           "hermes_issued,hermes_useful,hermes_dropped,pf_issued,"
-           "pf_useful,power_mw";
+
+/** One aggregate column; CSV and JSON render the same list. */
+struct Field
+{
+    const char *name;
+    std::string value;
+};
+
+std::string
+num(double v)
+{
+    std::ostringstream os;
+    os << v;
+    return os.str();
 }
 
 std::string
-formatCsvRow(const std::string &label, const RunStats &stats)
+num(std::uint64_t v)
+{
+    std::ostringstream os;
+    os << v;
+    return os.str();
+}
+
+std::vector<Field>
+aggregateFields(const RunStats &stats)
 {
     std::uint64_t loads = 0, offchip = 0;
     for (const auto &c : stats.core) {
@@ -117,17 +136,76 @@ formatCsvRow(const std::string &label, const RunStats &stats)
                   static_cast<double>(stats.simCycles)
             : 0.0;
 
-    std::ostringstream os;
-    os << label << ',' << stats.simCycles << ','
-       << stats.instrsRetired() << ',' << total_ipc << ','
-       << stats.llcMpki() << ',' << loads << ',' << offchip << ','
-       << pred.accuracy() << ',' << pred.coverage() << ','
-       << stats.dram.totalReads() << ',' << stats.dram.writes << ','
-       << stats.dram.hermesIssued << ',' << stats.dram.hermesUseful
-       << ',' << stats.dram.hermesDropped << ','
-       << stats.prefetch.issued << ',' << stats.prefetch.useful << ','
-       << power.total();
-    return os.str();
+    return {
+        {"cycles", num(stats.simCycles)},
+        {"instrs", num(stats.instrsRetired())},
+        {"ipc", num(total_ipc)},
+        {"llc_mpki", num(stats.llcMpki())},
+        {"loads", num(loads)},
+        {"offchip_loads", num(offchip)},
+        {"pred_accuracy", num(pred.accuracy())},
+        {"pred_coverage", num(pred.coverage())},
+        {"dram_reads", num(stats.dram.totalReads())},
+        {"dram_writes", num(stats.dram.writes)},
+        {"hermes_issued", num(stats.dram.hermesIssued)},
+        {"hermes_useful", num(stats.dram.hermesUseful)},
+        {"hermes_dropped", num(stats.dram.hermesDropped)},
+        {"pf_issued", num(stats.prefetch.issued)},
+        {"pf_useful", num(stats.prefetch.useful)},
+        {"power_mw", num(power.total())},
+    };
+}
+
+/** Escape for a double-quoted JSON string. */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out += '\\';
+        if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+            out += buf;
+        } else {
+            out += c;
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+std::string
+csvHeader()
+{
+    // Static mirror of the aggregateFields() names (computing them
+    // would run the whole aggregation on empty stats); the report
+    // tests assert header arity and keys match the rows.
+    return "label,cycles,instrs,ipc,llc_mpki,loads,offchip_loads,"
+           "pred_accuracy,pred_coverage,dram_reads,dram_writes,"
+           "hermes_issued,hermes_useful,hermes_dropped,pf_issued,"
+           "pf_useful,power_mw";
+}
+
+std::string
+formatCsvRow(const std::string &label, const RunStats &stats)
+{
+    std::string out = label;
+    for (const Field &f : aggregateFields(stats))
+        out += "," + f.value;
+    return out;
+}
+
+std::string
+formatJsonRow(const std::string &label, const RunStats &stats)
+{
+    std::string out = "{\"label\":\"" + jsonEscape(label) + "\"";
+    for (const Field &f : aggregateFields(stats))
+        out += std::string(",\"") + f.name + "\":" + f.value;
+    out += "}";
+    return out;
 }
 
 } // namespace hermes

@@ -22,4 +22,10 @@ std::string csvHeader();
 /** Flat CSV row (aggregated over cores) for scripted consumption. */
 std::string formatCsvRow(const std::string &label, const RunStats &stats);
 
+/**
+ * The same flat aggregate as formatCsvRow() as a single JSON object
+ * (keys match the csvHeader() column names).
+ */
+std::string formatJsonRow(const std::string &label, const RunStats &stats);
+
 } // namespace hermes

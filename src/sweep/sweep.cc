@@ -1,0 +1,200 @@
+#include "sweep/sweep.hh"
+
+#include <chrono>
+#include <deque>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "sim/report.hh"
+
+namespace hermes::sweep
+{
+
+namespace
+{
+
+/**
+ * A mutex-guarded deque of grid indices per worker. Owners pop from the
+ * back (LIFO keeps the hot point's memory warm); thieves steal from the
+ * front (FIFO steals the largest remaining chunk of the round-robin
+ * distribution first).
+ */
+class StealQueue
+{
+  public:
+    void
+    push(std::size_t v)
+    {
+        std::lock_guard<std::mutex> g(m_);
+        q_.push_back(v);
+    }
+
+    bool
+    popBack(std::size_t &out)
+    {
+        std::lock_guard<std::mutex> g(m_);
+        if (q_.empty())
+            return false;
+        out = q_.back();
+        q_.pop_back();
+        return true;
+    }
+
+    bool
+    stealFront(std::size_t &out)
+    {
+        std::lock_guard<std::mutex> g(m_);
+        if (q_.empty())
+            return false;
+        out = q_.front();
+        q_.pop_front();
+        return true;
+    }
+
+  private:
+    std::mutex m_;
+    std::deque<std::size_t> q_;
+};
+
+RunStats
+simulatePoint(const GridPoint &point, std::uint64_t seed,
+              SeedPolicy policy)
+{
+    GridPoint p = point;
+    if (policy == SeedPolicy::PerPoint)
+        p.config.seed = seed;
+    if (p.traces.size() == 1 && p.config.numCores == 1)
+        return simulateOne(p.config, p.traces[0], p.budget);
+    return simulateMix(p.config, p.traces, p.budget);
+}
+
+} // namespace
+
+SweepEngine::SweepEngine(SweepOptions opts) : opts_(std::move(opts)) {}
+
+std::uint64_t
+SweepEngine::pointSeed(std::uint64_t base, std::size_t index)
+{
+    std::uint64_t z = base + (index + 1) * 0x9E3779B97F4A7C15ull;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+}
+
+int
+SweepEngine::effectiveThreads(std::size_t points) const
+{
+    int t = opts_.threads;
+    if (t <= 0) {
+        const unsigned hw = std::thread::hardware_concurrency();
+        t = hw ? static_cast<int>(hw) : 1;
+    }
+    if (static_cast<std::size_t>(t) > points)
+        t = static_cast<int>(points ? points : 1);
+    return t;
+}
+
+std::vector<PointResult>
+SweepEngine::run(const std::vector<GridPoint> &grid) const
+{
+    const std::size_t n = grid.size();
+    std::vector<PointResult> results(n);
+    if (n == 0)
+        return results;
+
+    const int threads = effectiveThreads(n);
+
+    std::size_t done = 0; ///< Guarded by progress_mutex.
+    std::mutex progress_mutex;
+    std::mutex error_mutex;
+    std::exception_ptr first_error;
+
+    auto run_one = [&](std::size_t i) {
+        const auto t0 = std::chrono::steady_clock::now();
+        PointResult r;
+        r.index = i;
+        r.label = grid[i].label;
+        try {
+            r.stats = simulatePoint(
+                grid[i], pointSeed(opts_.seedBase, i), opts_.seedPolicy);
+        } catch (...) {
+            std::lock_guard<std::mutex> g(error_mutex);
+            if (!first_error)
+                first_error = std::current_exception();
+        }
+        r.wallSeconds =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - t0)
+                .count();
+        results[i] = std::move(r);
+        if (opts_.onProgress) {
+            // Count and report under one lock so the done counter is
+            // monotonic in callback order (the final done==total call
+            // really is the last one).
+            std::lock_guard<std::mutex> g(progress_mutex);
+            opts_.onProgress(++done, n, results[i]);
+        }
+    };
+
+    if (threads == 1) {
+        for (std::size_t i = 0; i < n; ++i)
+            run_one(i);
+    } else {
+        // Round-robin initial distribution, then work stealing.
+        std::vector<StealQueue> queues(threads);
+        for (std::size_t i = 0; i < n; ++i)
+            queues[i % threads].push(i);
+
+        auto worker = [&](int id) {
+            std::size_t i;
+            for (;;) {
+                if (queues[id].popBack(i)) {
+                    run_one(i);
+                    continue;
+                }
+                bool stole = false;
+                for (int v = 1; v < threads && !stole; ++v)
+                    stole = queues[(id + v) % threads].stealFront(i);
+                if (!stole)
+                    return;
+                run_one(i);
+            }
+        };
+
+        std::vector<std::thread> pool;
+        pool.reserve(threads);
+        for (int t = 0; t < threads; ++t)
+            pool.emplace_back(worker, t);
+        for (auto &t : pool)
+            t.join();
+    }
+
+    if (first_error)
+        std::rethrow_exception(first_error);
+    return results;
+}
+
+std::string
+toCsv(const std::vector<PointResult> &results)
+{
+    std::string out = csvHeader() + "\n";
+    for (const auto &r : results)
+        out += formatCsvRow(r.label, r.stats) + "\n";
+    return out;
+}
+
+std::string
+toJson(const std::vector<PointResult> &results)
+{
+    std::string out = "[";
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        if (i)
+            out += ",";
+        out += "\n  " + formatJsonRow(results[i].label, results[i].stats);
+    }
+    out += results.empty() ? "]" : "\n]";
+    return out;
+}
+
+} // namespace hermes::sweep

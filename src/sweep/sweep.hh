@@ -1,0 +1,111 @@
+#pragma once
+
+/**
+ * @file
+ * Parallel experiment engine: fans a grid of (SystemConfig x trace)
+ * points across hardware threads with a work-stealing pool.
+ *
+ * Determinism contract: each grid point simulates on exactly the seeds
+ * derived from its *grid index* (never from submission order, thread id
+ * or completion order), and results land in an index-addressed vector,
+ * so the output is byte-identical at any thread count.
+ */
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/simulator.hh"
+#include "sim/system.hh"
+#include "trace/suite.hh"
+
+namespace hermes::sweep
+{
+
+/** One experiment: a labelled (config, traces, budget) grid point. */
+struct GridPoint
+{
+    std::string label;
+    SystemConfig config;
+    /**
+     * One trace per core (a single entry runs simulateOne; N entries
+     * run simulateMix on an N-core config).
+     */
+    std::vector<TraceSpec> traces;
+    SimBudget budget;
+};
+
+/** Result of one grid point, tagged with its grid index. */
+struct PointResult
+{
+    std::size_t index = 0;
+    std::string label;
+    RunStats stats;
+    double wallSeconds = 0;
+};
+
+/** How the engine derives per-point seeds. */
+enum class SeedPolicy : std::uint8_t
+{
+    /**
+     * Keep the seeds the caller put into each GridPoint (default).
+     * Paired comparisons (same trace under different configs) then see
+     * identical instruction streams, matching a serial run exactly.
+     */
+    Keep,
+    /**
+     * Derive config.seed from (seedBase, grid index) via splitmix64;
+     * use for replication studies that want decorrelated system RNG
+     * per point while staying order-independent.
+     */
+    PerPoint,
+};
+
+/** Called as points finish: (completed count, total, finished point). */
+using ProgressFn =
+    std::function<void(std::size_t, std::size_t, const PointResult &)>;
+
+struct SweepOptions
+{
+    /** Worker threads; 0 means std::thread::hardware_concurrency(). */
+    int threads = 0;
+    SeedPolicy seedPolicy = SeedPolicy::Keep;
+    std::uint64_t seedBase = 1;
+    /** Invoked under an internal mutex; may be empty. */
+    ProgressFn onProgress;
+};
+
+/**
+ * Work-stealing experiment runner. Point i of the grid always produces
+ * slot i of the result vector; thread count only affects wall-clock.
+ */
+class SweepEngine
+{
+  public:
+    explicit SweepEngine(SweepOptions opts = {});
+
+    /**
+     * Run every grid point; returns results in grid order. The first
+     * exception thrown by a point (e.g. a malformed config) is
+     * rethrown on the calling thread after all workers drain.
+     */
+    std::vector<PointResult> run(const std::vector<GridPoint> &grid) const;
+
+    /** Threads that run() will use for a grid of @p points points. */
+    int effectiveThreads(std::size_t points) const;
+
+    /** splitmix64 mix of (base, index); the PerPoint seed derivation. */
+    static std::uint64_t pointSeed(std::uint64_t base, std::size_t index);
+
+  private:
+    SweepOptions opts_;
+};
+
+/** csvHeader() plus one formatCsvRow() line per result, grid order. */
+std::string toCsv(const std::vector<PointResult> &results);
+
+/** JSON array of formatJsonRow() objects, grid order. */
+std::string toJson(const std::vector<PointResult> &results);
+
+} // namespace hermes::sweep

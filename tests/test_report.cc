@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <sstream>
+
 #include "sim/power.hh"
 #include "sim/report.hh"
 #include "sim/simulator.hh"
@@ -44,6 +46,23 @@ TEST(Report, CsvRowMatchesHeaderArity)
     };
     EXPECT_EQ(commas(header), commas(row));
     EXPECT_EQ(row.rfind("label,", 0), 0u);
+}
+
+TEST(Report, JsonRowCarriesEveryCsvColumn)
+{
+    const RunStats r = sampleRun();
+    const std::string json = formatJsonRow("a \"label\"", r);
+    EXPECT_EQ(json.front(), '{');
+    EXPECT_EQ(json.back(), '}');
+    EXPECT_NE(json.find("\"label\":\"a \\\"label\\\"\""),
+              std::string::npos);
+
+    // Every csvHeader() column name appears as a JSON key.
+    std::istringstream header(csvHeader());
+    std::string col;
+    while (std::getline(header, col, ','))
+        EXPECT_NE(json.find("\"" + col + "\":"), std::string::npos)
+            << col;
 }
 
 TEST(Power, ZeroCyclesIsZeroPower)
