@@ -29,6 +29,7 @@ usage(const char *argv0)
         stderr,
         "usage: %s [--threads N] [--suite quick|full] [--scale F]\n"
         "          [--csv FILE] [--json FILE] [--progress|--no-progress]\n"
+        "          [--mips]\n"
         "  --threads N   sweep worker threads (default: all cores;\n"
         "                env HERMES_THREADS)\n"
         "  --suite S     trace suite (default quick; env"
@@ -37,7 +38,9 @@ usage(const char *argv0)
         " HERMES_SIM_SCALE)\n"
         "  --csv FILE    dump every simulated point as CSV on exit\n"
         "  --json FILE   dump every simulated point as JSON on exit\n"
-        "  --progress    per-point progress meter on stderr\n",
+        "  --progress    per-point progress meter on stderr\n"
+        "  --mips        report simulated-MIPS per grid and add\n"
+        "                sim_mips/host_seconds columns to the dumps\n",
         argv0);
     std::exit(2);
 }
@@ -59,14 +62,14 @@ flushSweepDumps()
     std::lock_guard<std::mutex> g(g_all_results_mutex);
     if (!g_cli.csvPath.empty()) {
         std::ofstream out(g_cli.csvPath);
-        out << sweep::toCsv(g_all_results);
+        out << sweep::toCsv(g_all_results, g_cli.mips);
         if (!out)
             std::fprintf(stderr, "warning: could not write %s\n",
                          g_cli.csvPath.c_str());
     }
     if (!g_cli.jsonPath.empty()) {
         std::ofstream out(g_cli.jsonPath);
-        out << sweep::toJson(g_all_results) << "\n";
+        out << sweep::toJson(g_all_results, g_cli.mips) << "\n";
         if (!out)
             std::fprintf(stderr, "warning: could not write %s\n",
                          g_cli.jsonPath.c_str());
@@ -106,6 +109,8 @@ initCli(int argc, char **argv)
             g_cli.progress = true;
         } else if (arg == "--no-progress") {
             g_cli.progress = false;
+        } else if (arg == "--mips") {
+            g_cli.mips = true;
         } else {
             usage(argv[0]);
         }
@@ -152,6 +157,26 @@ std::vector<sweep::PointResult>
 runGrid(const std::vector<sweep::GridPoint> &grid)
 {
     auto results = engine().run(grid);
+    if (g_cli.mips) {
+        std::uint64_t instrs = 0;
+        double seconds = 0;
+        for (const auto &r : results) {
+            std::fprintf(stderr, "mips %-48s %8.2f\n", r.label.c_str(),
+                         r.stats.hostPerf.mips());
+            instrs += r.stats.hostPerf.instrs;
+            seconds += r.stats.hostPerf.seconds;
+        }
+        // Per-run host seconds summed across workers: at --threads 1
+        // this is the grid's aggregate simulated-MIPS; at higher
+        // thread counts runs overlap and it reads as per-worker
+        // throughput.
+        if (seconds > 0)
+            std::fprintf(stderr,
+                         "mips TOTAL %lu instrs / %.3f run-seconds"
+                         " = %.2f MIPS\n",
+                         static_cast<unsigned long>(instrs), seconds,
+                         static_cast<double>(instrs) / seconds / 1e6);
+    }
     std::lock_guard<std::mutex> g(g_all_results_mutex);
     g_all_results.insert(g_all_results.end(), results.begin(),
                          results.end());

@@ -18,7 +18,7 @@
  *
  * CLI flags (initCli; they win over the environment):
  *  --threads N, --suite quick|full, --scale F, --csv FILE,
- *  --json FILE, --progress, --no-progress.
+ *  --json FILE, --progress, --no-progress, --mips.
  */
 
 #include <cstdint>
@@ -44,6 +44,12 @@ struct CliOptions
     std::string suiteName;
     /** Progress meter on stderr (default: only when a terminal). */
     bool progress = false;
+    /**
+     * Report simulator throughput: prints a simulated-MIPS summary per
+     * grid after each fan-out and appends sim_mips/host_seconds
+     * columns to the --csv/--json dumps.
+     */
+    bool mips = false;
     /** Write every simulated grid point as CSV/JSON on exit. */
     std::string csvPath;
     std::string jsonPath;

@@ -9,6 +9,8 @@
 #include <benchmark/benchmark.h>
 
 #include "cache/cache.hh"
+#include "common/addr_index.hh"
+#include "common/ring.hh"
 #include "common/rng.hh"
 #include "dram/dram.hh"
 #include "predictor/hmp.hh"
@@ -115,6 +117,51 @@ BM_TraceGeneration(benchmark::State &state)
         benchmark::DoNotOptimize(wl->next());
 }
 BENCHMARK(BM_TraceGeneration);
+
+void
+BM_AddrIndexChurn(benchmark::State &state)
+{
+    // The MSHR/page-buffer lookup structure: insert/find/erase cycle
+    // at the occupancy a busy LLC MSHR file sees.
+    AddrIndex idx(64);
+    Rng rng(5);
+    std::vector<Addr> live;
+    for (unsigned i = 0; i < 48; ++i) {
+        const Addr line = rng.next() & 0xFFFFF;
+        if (idx.find(line) == AddrIndex::kNotFound) {
+            idx.insert(line, i);
+            live.push_back(line);
+        }
+    }
+    std::size_t cursor = 0;
+    for (auto _ : state) {
+        const Addr probe = rng.next() & 0xFFFFF;
+        benchmark::DoNotOptimize(idx.find(probe));
+        const Addr victim = live[cursor % live.size()];
+        idx.erase(victim);
+        const Addr fresh = (rng.next() & 0xFFFFF) | 0x100000;
+        idx.insert(fresh, static_cast<std::uint32_t>(cursor));
+        live[cursor % live.size()] = fresh;
+        ++cursor;
+    }
+}
+BENCHMARK(BM_AddrIndexChurn);
+
+void
+BM_RingQueue(benchmark::State &state)
+{
+    // The cache/core queue container: steady-state push/pop.
+    Ring<MemRequest> ring(32);
+    MemRequest req;
+    for (int i = 0; i < 16; ++i)
+        ring.push_back(req);
+    for (auto _ : state) {
+        ring.push_back(req);
+        benchmark::DoNotOptimize(ring.front());
+        ring.pop_front();
+    }
+}
+BENCHMARK(BM_RingQueue);
 
 } // namespace
 

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Simulator-throughput gate: runs the quick suite single-threaded on
+ * the paper's full-featured configuration (Pythia prefetcher + POPET
+ * predictor + Hermes issue — the heaviest per-instruction hot path)
+ * and reports simulated MIPS per trace plus the aggregate.
+ *
+ * Usage:
+ *   perf_gate [--out FILE] [--min-mips X] [shared harness flags]
+ *
+ *  --out FILE     write the gate result as JSON (also printed)
+ *  --min-mips X   exit non-zero if the aggregate falls below X
+ *
+ * Shared harness flags (--threads/--suite/--scale/...) are forwarded
+ * to initCli; measurement defaults to --threads 1 so the number is a
+ * single-thread figure comparable across commits. CI uploads the JSON
+ * artifact so the throughput trend is visible per commit.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "harness/harness.hh"
+
+using namespace hermes;
+using namespace hermes::bench;
+
+int
+main(int argc, char **argv)
+{
+    std::string out_path;
+    double min_mips = 0;
+
+    // Strip gate-specific flags; forward the rest to the harness.
+    std::vector<char *> fwd;
+    fwd.push_back(argv[0]);
+    bool threads_given = false;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--out" && i + 1 < argc) {
+            out_path = argv[++i];
+        } else if (arg == "--min-mips" && i + 1 < argc) {
+            min_mips = std::atof(argv[++i]);
+        } else {
+            if (arg == "--threads")
+                threads_given = true;
+            fwd.push_back(argv[i]);
+        }
+    }
+    static char threads_flag[] = "--threads";
+    static char threads_one[] = "1";
+    if (!threads_given) {
+        fwd.push_back(threads_flag);
+        fwd.push_back(threads_one);
+    }
+    initCli(static_cast<int>(fwd.size()), fwd.data());
+
+    const SystemConfig cfg =
+        withHermes(cfgBaseline(), PredictorKind::Popet);
+    const SimBudget b = budget();
+    const auto results = runSuite(cfg, b);
+
+    std::uint64_t instrs = 0;
+    double seconds = 0;
+    std::string points_json;
+    std::printf("== perf_gate: quickSuite hot-path throughput ==\n");
+    for (const auto &r : results) {
+        const HostPerf &hp = r.stats.hostPerf;
+        std::printf("%-32s %8.2f MIPS (%lu instrs, %.3f s)\n",
+                    r.trace.c_str(), hp.mips(),
+                    static_cast<unsigned long>(hp.instrs), hp.seconds);
+        instrs += hp.instrs;
+        seconds += hp.seconds;
+        if (!points_json.empty())
+            points_json += ",";
+        char buf[256];
+        std::snprintf(buf, sizeof(buf),
+                      "\n    {\"trace\":\"%s\",\"mips\":%.3f,"
+                      "\"instrs\":%lu,\"seconds\":%.6f}",
+                      r.trace.c_str(), hp.mips(),
+                      static_cast<unsigned long>(hp.instrs), hp.seconds);
+        points_json += buf;
+    }
+    const double mips =
+        seconds > 0 ? static_cast<double>(instrs) / seconds / 1e6 : 0;
+    std::printf("aggregate: %lu instrs in %.3f s = %.3f MIPS\n",
+                static_cast<unsigned long>(instrs), seconds, mips);
+
+    char head[256];
+    std::snprintf(head, sizeof(head),
+                  "{\n  \"suite\": \"quick\",\n  \"threads\": %d,\n"
+                  "  \"total_instrs\": %lu,\n  \"run_seconds\": %.6f,\n"
+                  "  \"mips\": %.3f,\n  \"points\": [",
+                  cli().threads, static_cast<unsigned long>(instrs),
+                  seconds, mips);
+    const std::string json =
+        std::string(head) + points_json + "\n  ]\n}\n";
+    if (!out_path.empty()) {
+        std::ofstream out(out_path);
+        out << json;
+        if (!out) {
+            std::fprintf(stderr, "error: could not write %s\n",
+                         out_path.c_str());
+            return 1;
+        }
+        std::printf("wrote %s\n", out_path.c_str());
+    }
+
+    if (min_mips > 0 && mips < min_mips) {
+        std::fprintf(stderr,
+                     "perf_gate FAILED: %.3f MIPS < required %.3f\n",
+                     mips, min_mips);
+        return 1;
+    }
+    return 0;
+}

@@ -5,14 +5,35 @@
 namespace hermes
 {
 
+namespace
+{
+
+inline unsigned
+lowestSetBit(std::uint64_t word)
+{
+    return static_cast<unsigned>(__builtin_ctzll(word));
+}
+
+} // namespace
+
 Cache::Cache(CacheParams params)
     : params_(std::move(params)),
       repl_(makeReplacement(params_.repl, params_.sets, params_.ways)),
-      lines_(static_cast<std::size_t>(params_.sets) * params_.ways),
-      mshrs_(params_.mshrs)
+      tags_(static_cast<std::size_t>(params_.sets) * params_.ways,
+            kInvalidTag),
+      lineFlags_(static_cast<std::size_t>(params_.sets) * params_.ways, 0),
+      mshrs_(params_.mshrs),
+      mshrIndex_(params_.mshrs),
+      freeMask_((params_.mshrs + 63) / 64, 0),
+      unsentMask_((params_.mshrs + 63) / 64, 0),
+      rq_(params_.rqSize),
+      wq_(64),
+      pq_(params_.pqSize)
 {
     assert((params_.sets & (params_.sets - 1)) == 0 &&
            "set count must be a power of two");
+    for (std::uint32_t s = 0; s < params_.mshrs; ++s)
+        freeMask_[s / 64] |= 1ull << (s % 64);
 }
 
 void
@@ -21,18 +42,6 @@ Cache::setUpper(int core_id, MemClient *upper)
     if (uppers_.size() <= static_cast<std::size_t>(core_id))
         uppers_.resize(core_id + 1, nullptr);
     uppers_[core_id] = upper;
-}
-
-Cache::Line &
-Cache::lineAt(std::uint32_t set, std::uint32_t way)
-{
-    return lines_[static_cast<std::size_t>(set) * params_.ways + way];
-}
-
-const Cache::Line &
-Cache::lineAt(std::uint32_t set, std::uint32_t way) const
-{
-    return lines_[static_cast<std::size_t>(set) * params_.ways + way];
 }
 
 std::uint32_t
@@ -44,40 +53,154 @@ Cache::setIndex(Addr line) const
 std::uint32_t
 Cache::findWay(std::uint32_t set, Addr line) const
 {
-    for (std::uint32_t w = 0; w < params_.ways; ++w) {
-        const Line &l = lineAt(set, w);
-        if (l.valid && l.line == line)
+    const Addr *tags =
+        tags_.data() + static_cast<std::size_t>(set) * params_.ways;
+    for (std::uint32_t w = 0; w < params_.ways; ++w)
+        if (tags[w] == line)
             return w;
-    }
     return params_.ways;
 }
 
-Cache::Mshr *
-Cache::findMshr(Addr line)
+std::uint32_t
+Cache::findMshrSlot(Addr line) const
 {
     if (usedMshrs_ == 0)
-        return nullptr;
-    for (auto &m : mshrs_)
-        if (m.valid && m.line == line)
-            return &m;
-    return nullptr;
+        return AddrIndex::kNotFound;
+    return mshrIndex_.find(line);
 }
 
-Cache::Mshr *
-Cache::allocMshr()
+std::uint32_t
+Cache::allocMshrSlot(Addr line)
 {
     if (usedMshrs_ >= params_.mshrs)
-        return nullptr;
-    for (auto &m : mshrs_)
-        if (!m.valid)
-            return &m;
-    return nullptr;
+        return AddrIndex::kNotFound;
+    for (std::size_t w = 0; w < freeMask_.size(); ++w) {
+        if (freeMask_[w] == 0)
+            continue;
+        const std::uint32_t slot =
+            static_cast<std::uint32_t>(w * 64 + lowestSetBit(freeMask_[w]));
+        freeMask_[w] &= freeMask_[w] - 1; // clear lowest set bit
+        ++usedMshrs_;
+        mshrIndex_.insert(line, slot);
+        Mshr &m = mshrs_[slot];
+        m.sentToLower = false;
+        m.fillDirty = false;
+        m.originPrefetch = false;
+        m.demandMerged = false;
+        m.line = line;
+        m.waiters.clear();
+        return slot;
+    }
+    return AddrIndex::kNotFound; // unreachable: usedMshrs_ is accurate
+}
+
+void
+Cache::releaseMshr(std::uint32_t slot)
+{
+    Mshr &m = mshrs_[slot];
+    mshrIndex_.erase(m.line);
+    m.waiters.clear();
+    const std::uint64_t bit = 1ull << (slot % 64);
+    if ((unsentMask_[slot / 64] & bit) != 0) {
+        unsentMask_[slot / 64] &= ~bit;
+        --unsentMshrs_;
+    }
+    freeMask_[slot / 64] |= bit;
+    --usedMshrs_;
 }
 
 unsigned
 Cache::freeMshrCount() const
 {
     return params_.mshrs - usedMshrs_;
+}
+
+void
+Cache::markUnsent(std::uint32_t slot)
+{
+    unsentMask_[slot / 64] |= 1ull << (slot % 64);
+    ++unsentMshrs_;
+}
+
+void
+Cache::forwardFetch(Mshr &m, std::uint32_t slot)
+{
+    m.sentToLower = lower_ != nullptr && lower_->addRead(m.fetchReq);
+    if (!m.sentToLower)
+        markUnsent(slot);
+}
+
+void
+Cache::replOnHit(std::uint32_t set, std::uint32_t way, Addr pc,
+                 AccessType type)
+{
+    ReplacementPolicy *p = repl_.get();
+    switch (params_.repl) {
+      case ReplKind::Lru:
+        static_cast<LruPolicy *>(p)->LruPolicy::onHit(set, way, pc, type);
+        break;
+      case ReplKind::Srrip:
+        static_cast<SrripPolicy *>(p)->SrripPolicy::onHit(set, way, pc,
+                                                          type);
+        break;
+      case ReplKind::Ship:
+        static_cast<ShipPolicy *>(p)->ShipPolicy::onHit(set, way, pc,
+                                                        type);
+        break;
+    }
+}
+
+void
+Cache::replOnInsert(std::uint32_t set, std::uint32_t way, Addr pc,
+                    AccessType type)
+{
+    ReplacementPolicy *p = repl_.get();
+    switch (params_.repl) {
+      case ReplKind::Lru:
+        static_cast<LruPolicy *>(p)->LruPolicy::onInsert(set, way, pc,
+                                                         type);
+        break;
+      case ReplKind::Srrip:
+        static_cast<SrripPolicy *>(p)->SrripPolicy::onInsert(set, way, pc,
+                                                             type);
+        break;
+      case ReplKind::Ship:
+        static_cast<ShipPolicy *>(p)->ShipPolicy::onInsert(set, way, pc,
+                                                           type);
+        break;
+    }
+}
+
+void
+Cache::replOnEvict(std::uint32_t set, std::uint32_t way)
+{
+    ReplacementPolicy *p = repl_.get();
+    switch (params_.repl) {
+      case ReplKind::Lru:
+        static_cast<LruPolicy *>(p)->LruPolicy::onEvict(set, way);
+        break;
+      case ReplKind::Srrip:
+        static_cast<SrripPolicy *>(p)->SrripPolicy::onEvict(set, way);
+        break;
+      case ReplKind::Ship:
+        static_cast<ShipPolicy *>(p)->ShipPolicy::onEvict(set, way);
+        break;
+    }
+}
+
+std::uint32_t
+Cache::replVictim(std::uint32_t set)
+{
+    ReplacementPolicy *p = repl_.get();
+    switch (params_.repl) {
+      case ReplKind::Lru:
+        return static_cast<LruPolicy *>(p)->LruPolicy::victim(set);
+      case ReplKind::Srrip:
+        return static_cast<SrripPolicy *>(p)->SrripPolicy::victim(set);
+      case ReplKind::Ship:
+        return static_cast<ShipPolicy *>(p)->ShipPolicy::victim(set);
+    }
+    return 0; // unreachable
 }
 
 bool
@@ -100,25 +223,28 @@ Cache::addWrite(const MemRequest &req)
 }
 
 void
-Cache::tick(Cycle now)
-{
-    now_ = now;
-    retryUnsentMshrs();
-    processWrites(now);
-    processReads(now);
-    processPrefetches(now);
-}
-
-void
 Cache::retryUnsentMshrs()
 {
-    if (unsentMshrs_ == 0)
+    if (lower_ == nullptr)
         return;
-    for (auto &m : mshrs_) {
-        if (m.valid && !m.sentToLower && lower_ != nullptr &&
-            lower_->addRead(m.fetchReq)) {
-            m.sentToLower = true;
-            --unsentMshrs_;
+    for (std::size_t w = 0; w < unsentMask_.size(); ++w) {
+        std::uint64_t pending = unsentMask_[w];
+        while (pending != 0) {
+            const std::uint32_t slot =
+                static_cast<std::uint32_t>(w * 64 + lowestSetBit(pending));
+            const std::uint64_t bit = pending & (~pending + 1);
+            pending &= pending - 1;
+            Mshr &m = mshrs_[slot];
+            if (lower_->addRead(m.fetchReq) &&
+                (unsentMask_[w] & bit) != 0) {
+                // The mask re-check guards against addRead answering
+                // synchronously (DRAM write-queue forwarding re-enters
+                // returnData): the nested call already released this
+                // MSHR and its unsent bit, so no further bookkeeping.
+                m.sentToLower = true;
+                unsentMask_[w] &= ~bit;
+                --unsentMshrs_;
+            }
         }
     }
 }
@@ -136,8 +262,9 @@ Cache::processWrites(Cycle now)
         const std::uint32_t way = findWay(set, req.line());
         if (way < params_.ways) {
             ++stats_.writebackHits;
-            lineAt(set, way).dirty = true;
-            repl_->onHit(set, way, req.pc, req.type);
+            lineFlags_[static_cast<std::size_t>(set) * params_.ways +
+                       way] |= kDirty;
+            replOnHit(set, way, req.pc, req.type);
             continue;
         }
         if (req.type == AccessType::Writeback) {
@@ -147,27 +274,23 @@ Cache::processWrites(Cycle now)
             continue;
         }
         // Store (RFO) miss: write-allocate by fetching the line.
-        if (Mshr *m = findMshr(req.line())) {
-            m->fillDirty = true;
+        if (const std::uint32_t slot = findMshrSlot(req.line());
+            slot != AddrIndex::kNotFound) {
+            mshrs_[slot].fillDirty = true;
             ++stats_.mshrMerges;
             continue;
         }
-        Mshr *m = allocMshr();
-        if (m == nullptr) {
+        const std::uint32_t slot = allocMshrSlot(req.line());
+        if (slot == AddrIndex::kNotFound) {
             // No MSHR: retry next cycle.
             wq_.push_front(QueueEntry{req, now});
             break;
         }
-        *m = Mshr{};
-        m->valid = true;
-        ++usedMshrs_;
-        m->line = req.line();
-        m->fetchReq = req;
-        m->fetchReq.type = AccessType::Rfo;
-        m->fillDirty = true;
-        m->sentToLower = lower_ != nullptr && lower_->addRead(m->fetchReq);
-        if (!m->sentToLower)
-            ++unsentMshrs_;
+        Mshr &m = mshrs_[slot];
+        m.fetchReq = req;
+        m.fetchReq.type = AccessType::Rfo;
+        m.fillDirty = true;
+        forwardFetch(m, slot);
     }
 }
 
@@ -207,14 +330,15 @@ void
 Cache::handleReadHit(const MemRequest &req, std::uint32_t set,
                      std::uint32_t way)
 {
-    Line &l = lineAt(set, way);
-    repl_->onHit(set, way, req.pc, req.type);
-    if (l.prefetched) {
-        l.prefetched = false;
+    const std::size_t i =
+        static_cast<std::size_t>(set) * params_.ways + way;
+    replOnHit(set, way, req.pc, req.type);
+    if ((lineFlags_[i] & kPrefetched) != 0) {
+        lineFlags_[i] &= static_cast<std::uint8_t>(~kPrefetched);
         ++stats_.usefulPrefetches;
         if (prefetcher_ != nullptr) {
             ++prefetcher_->stats().useful;
-            prefetcher_->onPrefetchUseful(l.line, req.pc);
+            prefetcher_->onPrefetchUseful(tags_[i], req.pc);
         }
     }
     MemRequest resp = req;
@@ -225,35 +349,32 @@ Cache::handleReadHit(const MemRequest &req, std::uint32_t set,
 bool
 Cache::handleReadMiss(const MemRequest &req)
 {
-    if (Mshr *m = findMshr(req.line())) {
+    if (const std::uint32_t slot = findMshrSlot(req.line());
+        slot != AddrIndex::kNotFound) {
+        Mshr &m = mshrs_[slot];
         ++stats_.mshrMerges;
-        if (m->originPrefetch && !m->demandMerged) {
+        if (m.originPrefetch && !m.demandMerged) {
             ++stats_.mshrLatePrefetchHits;
             // Late prefetch: the demand caught it in flight. Useful
             // but tardy feedback for learning prefetchers.
             if (prefetcher_ != nullptr)
-                prefetcher_->onPrefetchLate(m->line, req.pc);
+                prefetcher_->onPrefetchLate(m.line, req.pc);
         }
-        m->demandMerged = true;
+        m.demandMerged = true;
         if (req.type == AccessType::Rfo)
-            m->fillDirty = true;
-        m->waiters.push_back(req);
+            m.fillDirty = true;
+        m.waiters.push_back(req);
         return true;
     }
-    Mshr *m = allocMshr();
-    if (m == nullptr)
+    const std::uint32_t slot = allocMshrSlot(req.line());
+    if (slot == AddrIndex::kNotFound)
         return false;
-    *m = Mshr{};
-    m->valid = true;
-    ++usedMshrs_;
-    m->line = req.line();
-    m->fetchReq = req;
-    m->waiters.push_back(req);
+    Mshr &m = mshrs_[slot];
+    m.fetchReq = req;
+    m.waiters.push_back(req);
     if (req.type == AccessType::Rfo)
-        m->fillDirty = true;
-    m->sentToLower = lower_ != nullptr && lower_->addRead(m->fetchReq);
-    if (!m->sentToLower)
-        ++unsentMshrs_;
+        m.fillDirty = true;
+    forwardFetch(m, slot);
     return true;
 }
 
@@ -267,13 +388,12 @@ Cache::processPrefetches(Cycle now)
         ++stats_.prefetchLookups;
         const std::uint32_t set = setIndex(req.line());
         if (findWay(set, req.line()) < params_.ways ||
-            findMshr(req.line()) != nullptr) {
+            findMshrSlot(req.line()) != AddrIndex::kNotFound) {
             ++stats_.prefetchDropped;
             pq_.pop_front();
             continue;
         }
-        Mshr *m = allocMshr();
-        if (m == nullptr)
+        if (usedMshrs_ >= params_.mshrs)
             break; // Prefetches wait for a free MSHR.
         // Keep at least a couple of MSHRs for demand traffic.
         if (freeMshrCount() <= 2) {
@@ -282,15 +402,11 @@ Cache::processPrefetches(Cycle now)
             continue;
         }
         pq_.pop_front();
-        *m = Mshr{};
-        m->valid = true;
-        ++usedMshrs_;
-        m->line = req.line();
-        m->fetchReq = req;
-        m->originPrefetch = true;
-        m->sentToLower = lower_ != nullptr && lower_->addRead(m->fetchReq);
-        if (!m->sentToLower)
-            ++unsentMshrs_;
+        const std::uint32_t slot = allocMshrSlot(req.line());
+        Mshr &m = mshrs_[slot];
+        m.fetchReq = req;
+        m.originPrefetch = true;
+        forwardFetch(m, slot);
         ++stats_.prefetchIssued;
         if (prefetcher_ != nullptr)
             ++prefetcher_->stats().issued;
@@ -304,9 +420,9 @@ Cache::invokePrefetcher(const MemRequest &req, bool hit)
         return;
     if (req.type != AccessType::Load && req.type != AccessType::Rfo)
         return;
-    std::vector<Addr> candidates;
-    prefetcher_->onAccess(req.address, req.pc, hit, candidates);
-    for (Addr line : candidates) {
+    pfCandidates_.clear();
+    prefetcher_->onAccess(req.address, req.pc, hit, pfCandidates_);
+    for (Addr line : pfCandidates_) {
         if (pq_.size() >= params_.pqSize)
             break;
         MemRequest pf;
@@ -324,44 +440,45 @@ Cache::installLine(Addr line, Addr pc, AccessType type, bool dirty,
                    bool prefetched)
 {
     const std::uint32_t set = setIndex(line);
+    const std::size_t base = static_cast<std::size_t>(set) * params_.ways;
     std::uint32_t way = params_.ways;
     for (std::uint32_t w = 0; w < params_.ways; ++w) {
-        if (!lineAt(set, w).valid) {
+        if (tags_[base + w] == kInvalidTag) {
             way = w;
             break;
         }
     }
     if (way == params_.ways) {
-        way = repl_->victim(set);
-        Line &victim = lineAt(set, way);
+        way = replVictim(set);
+        const Addr victim_line = tags_[base + way];
+        const std::uint8_t victim_flags = lineFlags_[base + way];
         ++stats_.evictions;
-        if (victim.prefetched) {
+        if ((victim_flags & kPrefetched) != 0) {
             ++stats_.uselessPrefetches;
             if (prefetcher_ != nullptr) {
                 ++prefetcher_->stats().useless;
-                prefetcher_->onPrefetchUseless(victim.line);
+                prefetcher_->onPrefetchUseless(victim_line);
             }
         }
-        repl_->onEvict(set, way);
+        replOnEvict(set, way);
         if (onEviction)
-            onEviction(victim.line);
-        if (victim.dirty) {
+            onEviction(victim_line);
+        if ((victim_flags & kDirty) != 0) {
             ++stats_.dirtyEvictions;
             if (lower_ != nullptr) {
                 MemRequest wb;
-                wb.address = victim.line << kLogBlockSize;
+                wb.address = victim_line << kLogBlockSize;
                 wb.type = AccessType::Writeback;
                 wb.cycleCreated = now_;
                 lower_->addWrite(wb);
             }
         }
     }
-    Line &l = lineAt(set, way);
-    l.line = line;
-    l.valid = true;
-    l.dirty = dirty;
-    l.prefetched = prefetched;
-    repl_->onInsert(set, way, pc, type);
+    tags_[base + way] = line;
+    lineFlags_[base + way] =
+        static_cast<std::uint8_t>((dirty ? kDirty : 0) |
+                                  (prefetched ? kPrefetched : 0));
+    replOnInsert(set, way, pc, type);
 }
 
 void
@@ -380,28 +497,26 @@ Cache::respondUpward(MemRequest waiter, const MemRequest &fill)
 void
 Cache::returnData(const MemRequest &req)
 {
-    Mshr *m = findMshr(req.line());
-    assert(m != nullptr && "fill without a matching MSHR");
+    const std::uint32_t slot = findMshrSlot(req.line());
+    assert(slot != AddrIndex::kNotFound &&
+           "fill without a matching MSHR");
+    Mshr &m = mshrs_[slot];
 
     ++stats_.fills;
-    const bool prefetched = m->originPrefetch && !m->demandMerged;
-    if (m->originPrefetch) {
+    const bool prefetched = m.originPrefetch && !m.demandMerged;
+    if (m.originPrefetch) {
         ++stats_.prefetchFills;
         if (prefetcher_ != nullptr)
             prefetcher_->onPrefetchFill(req.line());
     }
-    installLine(req.line(), m->fetchReq.pc, m->fetchReq.type,
-                m->fillDirty, prefetched);
+    installLine(req.line(), m.fetchReq.pc, m.fetchReq.type, m.fillDirty,
+                prefetched);
     if (onFillFromDram && req.servedFrom == MemLevel::Dram)
         onFillFromDram(req.line());
 
-    for (const MemRequest &w : m->waiters)
+    for (const MemRequest &w : m.waiters)
         respondUpward(w, req);
-    if (!m->sentToLower && unsentMshrs_ > 0)
-        --unsentMshrs_;
-    m->valid = false;
-    --usedMshrs_;
-    m->waiters.clear();
+    releaseMshr(slot);
 }
 
 bool
@@ -414,10 +529,7 @@ Cache::probe(Addr line) const
 bool
 Cache::probeMshr(Addr line) const
 {
-    for (const auto &m : mshrs_)
-        if (m.valid && m.line == line)
-            return true;
-    return false;
+    return findMshrSlot(line) != AddrIndex::kNotFound;
 }
 
 } // namespace hermes

@@ -15,10 +15,26 @@
  * Simplification (documented in DESIGN.md): write queues accept
  * unconditionally (soft-bounded) to avoid writeback-deadlock plumbing;
  * an overflow statistic records pressure instead.
+ *
+ * Hot-path layout (this cache is looked up for every simulated memory
+ * access, so the data structures are shaped for throughput):
+ *  - tags live in one contiguous per-set array scanned directly (an
+ *    invalid way holds a sentinel tag that cannot match); per-line
+ *    dirty/prefetched bits sit in a parallel flags array touched only
+ *    on hits and fills;
+ *  - in-flight misses are found through an open-addressed line->MSHR
+ *    index (AddrIndex) instead of a linear MSHR scan; free and unsent
+ *    MSHR slots are tracked in bitmasks so allocation and retry visit
+ *    only live slots, in slot order;
+ *  - the request queues are power-of-two ring buffers (Ring<>);
+ *  - replacement callbacks are devirtualized by dispatching on
+ *    ReplKind to the sealed policy classes;
+ *  - tick() returns immediately when all queues are empty and no MSHR
+ *    is waiting to be forwarded, which is the common case for upper
+ *    levels in low-MPKI phases.
  */
 
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <memory>
 #include <string>
@@ -26,6 +42,8 @@
 
 #include "cache/mem_iface.hh"
 #include "cache/replacement.hh"
+#include "common/addr_index.hh"
+#include "common/ring.hh"
 #include "common/types.hh"
 #include "prefetch/prefetcher.hh"
 
@@ -89,7 +107,7 @@ struct CacheStats
  * One cache level. Implements MemDevice (requests from above) and
  * MemClient (fills from below).
  */
-class Cache : public MemDevice, public MemClient
+class Cache final : public MemDevice, public MemClient
 {
   public:
     explicit Cache(CacheParams params);
@@ -109,7 +127,22 @@ class Cache : public MemDevice, public MemClient
     // MemDevice
     bool addRead(const MemRequest &req) override;
     bool addWrite(const MemRequest &req) override;
-    void tick(Cycle now) override;
+
+    /** Advance one cycle. Inline: ticked every core cycle, and for
+     * upper levels in low-MPKI phases every queue is usually empty. */
+    void
+    tick(Cycle now) override
+    {
+        now_ = now;
+        if (unsentMshrs_ != 0)
+            retryUnsentMshrs();
+        if (!wq_.empty())
+            processWrites(now);
+        if (!rq_.empty())
+            processReads(now);
+        if (!pq_.empty())
+            processPrefetches(now);
+    }
 
     // MemClient (fill from the lower level)
     void returnData(const MemRequest &req) override;
@@ -132,24 +165,26 @@ class Cache : public MemDevice, public MemClient
     std::function<void(Addr line)> onEviction;
 
   private:
-    struct Line
+    /** Sentinel tag marking an invalid way (no real line address —
+     * byte addresses shifted down by kLogBlockSize never reach it). */
+    static constexpr Addr kInvalidTag = ~Addr{0};
+
+    /** Per-line metadata bits (parallel to tags_). */
+    enum LineFlag : std::uint8_t
     {
-        Addr line = 0;
-        bool valid = false;
-        bool dirty = false;
-        bool prefetched = false; ///< Brought in by this cache's prefetcher
+        kDirty = 1u << 0,
+        kPrefetched = 1u << 1,
     };
 
     struct Mshr
     {
-        bool valid = false;
         bool sentToLower = false;
+        bool fillDirty = false;      ///< Install dirty (RFO/store)
+        bool originPrefetch = false; ///< Allocated by this cache's pf
+        bool demandMerged = false;   ///< A demand joined after allocation
         Addr line = 0;
-        MemRequest fetchReq;          ///< Request forwarded down
+        MemRequest fetchReq;             ///< Request forwarded down
         std::vector<MemRequest> waiters; ///< Reads to answer upward
-        bool fillDirty = false;       ///< Install dirty (RFO/store)
-        bool originPrefetch = false;  ///< Allocated by this cache's pf
-        bool demandMerged = false;    ///< A demand joined after allocation
     };
 
     struct QueueEntry
@@ -158,14 +193,25 @@ class Cache : public MemDevice, public MemClient
         Cycle readyAt = 0;
     };
 
-    Line &lineAt(std::uint32_t set, std::uint32_t way);
-    const Line &lineAt(std::uint32_t set, std::uint32_t way) const;
     std::uint32_t setIndex(Addr line) const;
     /** Find way of a resident line; returns ways on miss. */
     std::uint32_t findWay(std::uint32_t set, Addr line) const;
-    Mshr *findMshr(Addr line);
-    Mshr *allocMshr();
+    /** MSHR slot for @p line, or AddrIndex::kNotFound. */
+    std::uint32_t findMshrSlot(Addr line) const;
+    /** Lowest free MSHR slot, or kNotFound when exhausted. */
+    std::uint32_t allocMshrSlot(Addr line);
+    void releaseMshr(std::uint32_t slot);
     unsigned freeMshrCount() const;
+    void markUnsent(std::uint32_t slot);
+    void forwardFetch(Mshr &m, std::uint32_t slot);
+
+    // Devirtualized replacement dispatch (sealed policy classes).
+    void replOnHit(std::uint32_t set, std::uint32_t way, Addr pc,
+                   AccessType type);
+    void replOnInsert(std::uint32_t set, std::uint32_t way, Addr pc,
+                      AccessType type);
+    void replOnEvict(std::uint32_t set, std::uint32_t way);
+    std::uint32_t replVictim(std::uint32_t set);
 
     void processReads(Cycle now);
     void processWrites(Cycle now);
@@ -175,7 +221,7 @@ class Cache : public MemDevice, public MemClient
                        std::uint32_t way);
     /** @return true if the miss was absorbed (MSHR merge or new). */
     bool handleReadMiss(const MemRequest &req);
-    /** Install a fill; returns the victim way used. */
+    /** Install a fill; evicts (and writes back) a victim if needed. */
     void installLine(Addr line, Addr pc, AccessType type, bool dirty,
                      bool prefetched);
     void respondUpward(MemRequest waiter, const MemRequest &fill);
@@ -183,16 +229,27 @@ class Cache : public MemDevice, public MemClient
 
     CacheParams params_;
     std::unique_ptr<ReplacementPolicy> repl_;
-    std::vector<Line> lines_;
+
+    // Flat tag/metadata store: tags_[set*ways + way].
+    std::vector<Addr> tags_;
+    std::vector<std::uint8_t> lineFlags_;
+
+    // MSHR file + open-addressed line index + slot bitmasks.
     std::vector<Mshr> mshrs_;
+    AddrIndex mshrIndex_;
+    std::vector<std::uint64_t> freeMask_;   ///< bit set = slot free
+    std::vector<std::uint64_t> unsentMask_; ///< bit set = not yet sent
     unsigned usedMshrs_ = 0;
     unsigned unsentMshrs_ = 0;
-    std::deque<QueueEntry> rq_;
-    std::deque<QueueEntry> wq_;
-    std::deque<QueueEntry> pq_;
+
+    Ring<QueueEntry> rq_;
+    Ring<QueueEntry> wq_;
+    Ring<QueueEntry> pq_;
     std::vector<MemClient *> uppers_;
     MemDevice *lower_ = nullptr;
     Prefetcher *prefetcher_ = nullptr;
+    /** Reused candidate buffer: no per-access heap allocation. */
+    std::vector<Addr> pfCandidates_;
     CacheStats stats_;
     Cycle now_ = 0;
 };

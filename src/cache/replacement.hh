@@ -5,6 +5,12 @@
  * Cache replacement policies: LRU (L1/L2), SRRIP, and SHiP (the paper's
  * LLC policy, Table 4). Policies are separate from the cache so tests
  * can exercise them in isolation and caches can swap them by config.
+ *
+ * The concrete classes are declared here (not hidden behind the
+ * factory) and marked final so the cache can devirtualize the
+ * per-access policy callbacks: it dispatches once on ReplKind and then
+ * calls the sealed class directly, which the compiler turns into plain
+ * (inlineable) calls on the L1/L2/LLC hit path.
  */
 
 #include <cstdint>
@@ -55,6 +61,197 @@ class ReplacementPolicy
 
     /** Metadata storage in bits (for the storage report). */
     virtual std::uint64_t storageBits() const = 0;
+};
+
+/** Classic least-recently-used via per-line access timestamps. */
+class LruPolicy final : public ReplacementPolicy
+{
+  public:
+    LruPolicy(std::uint32_t sets, std::uint32_t ways)
+        : ways_(ways), stamp_(static_cast<std::size_t>(sets) * ways, 0)
+    {
+    }
+
+    const char *name() const override { return "lru"; }
+
+    std::uint32_t
+    victim(std::uint32_t set) override
+    {
+        const std::size_t base = static_cast<std::size_t>(set) * ways_;
+        std::uint32_t victim_way = 0;
+        std::uint64_t oldest = stamp_[base];
+        for (std::uint32_t w = 1; w < ways_; ++w) {
+            if (stamp_[base + w] < oldest) {
+                oldest = stamp_[base + w];
+                victim_way = w;
+            }
+        }
+        return victim_way;
+    }
+
+    void
+    onInsert(std::uint32_t set, std::uint32_t way, Addr, AccessType) override
+    {
+        touch(set, way);
+    }
+
+    void
+    onHit(std::uint32_t set, std::uint32_t way, Addr, AccessType) override
+    {
+        touch(set, way);
+    }
+
+    void onEvict(std::uint32_t, std::uint32_t) override {}
+
+    std::uint64_t
+    storageBits() const override
+    {
+        // A real LRU stack needs log2(ways) bits per line.
+        std::uint32_t bits = 0;
+        while ((1u << bits) < ways_)
+            ++bits;
+        return static_cast<std::uint64_t>(stamp_.size()) * bits;
+    }
+
+  private:
+    void
+    touch(std::uint32_t set, std::uint32_t way)
+    {
+        stamp_[static_cast<std::size_t>(set) * ways_ + way] = ++clock_;
+    }
+
+    std::uint32_t ways_;
+    std::uint64_t clock_ = 0;
+    std::vector<std::uint64_t> stamp_;
+};
+
+/** Static re-reference interval prediction (2-bit RRPV). */
+class SrripPolicy : public ReplacementPolicy
+{
+  public:
+    SrripPolicy(std::uint32_t sets, std::uint32_t ways)
+        : ways_(ways),
+          rrpv_(static_cast<std::size_t>(sets) * ways, kMaxRrpv)
+    {
+    }
+
+    const char *name() const override { return "srrip"; }
+
+    std::uint32_t
+    victim(std::uint32_t set) override
+    {
+        const std::size_t base = static_cast<std::size_t>(set) * ways_;
+        for (;;) {
+            for (std::uint32_t w = 0; w < ways_; ++w)
+                if (rrpv_[base + w] == kMaxRrpv)
+                    return w;
+            for (std::uint32_t w = 0; w < ways_; ++w)
+                ++rrpv_[base + w];
+        }
+    }
+
+    void
+    onInsert(std::uint32_t set, std::uint32_t way, Addr, AccessType) override
+    {
+        rrpv_[static_cast<std::size_t>(set) * ways_ + way] = kMaxRrpv - 1;
+    }
+
+    void
+    onHit(std::uint32_t set, std::uint32_t way, Addr, AccessType) override
+    {
+        rrpv_[static_cast<std::size_t>(set) * ways_ + way] = 0;
+    }
+
+    void onEvict(std::uint32_t, std::uint32_t) override {}
+
+    std::uint64_t
+    storageBits() const override
+    {
+        return static_cast<std::uint64_t>(rrpv_.size()) * 2;
+    }
+
+  protected:
+    static constexpr std::uint8_t kMaxRrpv = 3;
+
+    std::uint32_t ways_;
+    std::vector<std::uint8_t> rrpv_;
+};
+
+/**
+ * SHiP (signature-based hit predictor, Wu et al. MICRO'11): RRIP
+ * insertion steered by a PC-signature reuse table (SHCT). Lines that
+ * historically see no reuse are inserted at distant RRPV.
+ */
+class ShipPolicy final : public SrripPolicy
+{
+  public:
+    ShipPolicy(std::uint32_t sets, std::uint32_t ways)
+        : SrripPolicy(sets, ways),
+          sig_(static_cast<std::size_t>(sets) * ways, 0),
+          reused_(static_cast<std::size_t>(sets) * ways, false),
+          shct_(kShctSize, 1)
+    {
+    }
+
+    const char *name() const override { return "ship"; }
+
+    void
+    onInsert(std::uint32_t set, std::uint32_t way, Addr pc,
+             AccessType type) override
+    {
+        const std::size_t i = static_cast<std::size_t>(set) * ways_ + way;
+        sig_[i] = signature(pc);
+        reused_[i] = false;
+        // Prefetch fills and PCs with a no-reuse history go in at the
+        // most distant re-reference interval.
+        const bool distant =
+            type == AccessType::Prefetch || shct_[sig_[i]] == 0;
+        rrpv_[i] = distant ? kMaxRrpv : kMaxRrpv - 1;
+    }
+
+    void
+    onHit(std::uint32_t set, std::uint32_t way, Addr, AccessType) override
+    {
+        const std::size_t i = static_cast<std::size_t>(set) * ways_ + way;
+        rrpv_[i] = 0;
+        if (!reused_[i]) {
+            reused_[i] = true;
+            if (shct_[sig_[i]] < kShctMax)
+                ++shct_[sig_[i]];
+        }
+    }
+
+    void
+    onEvict(std::uint32_t set, std::uint32_t way) override
+    {
+        const std::size_t i = static_cast<std::size_t>(set) * ways_ + way;
+        if (!reused_[i] && shct_[sig_[i]] > 0)
+            --shct_[sig_[i]];
+    }
+
+    std::uint64_t
+    storageBits() const override
+    {
+        return SrripPolicy::storageBits() +
+               static_cast<std::uint64_t>(sig_.size()) * 14 + // signature
+               static_cast<std::uint64_t>(reused_.size()) +   // outcome bit
+               static_cast<std::uint64_t>(shct_.size()) * 2;  // SHCT
+    }
+
+  private:
+    static constexpr std::uint32_t kShctSize = 16384;
+    static constexpr std::uint8_t kShctMax = 3;
+
+    static std::uint16_t
+    signature(Addr pc)
+    {
+        return static_cast<std::uint16_t>(((pc >> 2) ^ (pc >> 16)) &
+                                          (kShctSize - 1));
+    }
+
+    std::vector<std::uint16_t> sig_;
+    std::vector<bool> reused_;
+    std::vector<std::uint8_t> shct_;
 };
 
 /** Instantiate a policy for a sets x ways geometry. */

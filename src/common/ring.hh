@@ -1,0 +1,94 @@
+#pragma once
+
+/**
+ * @file
+ * Growable power-of-two ring buffer used for the simulator's hot-path
+ * queues (cache read/write/prefetch queues, the core's ready-load
+ * queue). Replaces std::deque in the per-cycle loops: elements are
+ * contiguous-in-ring, push/pop are branch-light index arithmetic and no
+ * allocation happens once the ring reaches its working-set size.
+ *
+ * FIFO semantics match std::deque for the operations the simulator
+ * uses: push_back, push_front (head-of-line retry), front, pop_front.
+ */
+
+#include <cstddef>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace hermes
+{
+
+template <typename T>
+class Ring
+{
+  public:
+    explicit Ring(std::size_t initial_capacity = 8)
+    {
+        buf_.resize(ceilPow2(initial_capacity < 2 ? 2 : initial_capacity));
+    }
+
+    bool empty() const { return size_ == 0; }
+    std::size_t size() const { return size_; }
+
+    T &front() { return buf_[head_]; }
+    const T &front() const { return buf_[head_]; }
+
+    /** Element @p i positions behind the front (0 == front). */
+    const T &
+    at(std::size_t i) const
+    {
+        return buf_[(head_ + i) & (buf_.size() - 1)];
+    }
+
+    void
+    push_back(const T &v)
+    {
+        if (size_ == buf_.size())
+            grow();
+        buf_[(head_ + size_) & (buf_.size() - 1)] = v;
+        ++size_;
+    }
+
+    void
+    push_front(const T &v)
+    {
+        if (size_ == buf_.size())
+            grow();
+        head_ = (head_ + buf_.size() - 1) & (buf_.size() - 1);
+        buf_[head_] = v;
+        ++size_;
+    }
+
+    void
+    pop_front()
+    {
+        head_ = (head_ + 1) & (buf_.size() - 1);
+        --size_;
+    }
+
+    void
+    clear()
+    {
+        head_ = 0;
+        size_ = 0;
+    }
+
+  private:
+    void
+    grow()
+    {
+        std::vector<T> bigger(buf_.size() * 2);
+        for (std::size_t i = 0; i < size_; ++i)
+            bigger[i] = buf_[(head_ + i) & (buf_.size() - 1)];
+        buf_ = std::move(bigger);
+        head_ = 0;
+    }
+
+    std::vector<T> buf_;
+    std::size_t head_ = 0;
+    std::size_t size_ = 0;
+};
+
+} // namespace hermes

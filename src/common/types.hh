@@ -7,10 +7,22 @@
  * between byte addresses, cache-line addresses and page numbers.
  */
 
+#include <cstddef>
 #include <cstdint>
 
 namespace hermes
 {
+
+/** Smallest power of two >= @p n (>= 1); used to size masked rings,
+ * hash tables and the ROB so indexing avoids division. */
+constexpr std::size_t
+ceilPow2(std::size_t n)
+{
+    std::size_t p = 1;
+    while (p < n)
+        p *= 2;
+    return p;
+}
 
 /** Byte address in the simulated (virtual == physical) address space. */
 using Addr = std::uint64_t;

@@ -9,7 +9,8 @@ namespace hermes
 OooCore::OooCore(int core_id, CoreParams params, Workload *workload,
                  MemDevice *l1d, HermesController *hermes)
     : coreId_(core_id), params_(params), workload_(workload), l1d_(l1d),
-      hermes_(hermes), rob_(params.robSize)
+      hermes_(hermes), rob_(ceilPow2(params.robSize)),
+      robMask_(rob_.size() - 1)
 {
     assert(params_.robSize > 0 && params_.fetchWidth > 0);
 }
@@ -17,7 +18,7 @@ OooCore::OooCore(int core_id, CoreParams params, Workload *workload,
 OooCore::RobEntry &
 OooCore::entry(InstrId seq)
 {
-    return rob_[seq % params_.robSize];
+    return rob_[seq & robMask_];
 }
 
 void
@@ -31,18 +32,6 @@ bool
 OooCore::nonLoadComplete(const RobEntry &e, Cycle now) const
 {
     return e.state == State::Ready && e.readyAt <= now;
-}
-
-void
-OooCore::tick(Cycle now)
-{
-    now_ = now;
-    ++stats_.cycles;
-    retire(now);
-    issueLoads(now);
-    dispatch(now);
-    if (hermes_ != nullptr)
-        hermes_->tick(now);
 }
 
 void
@@ -152,15 +141,17 @@ OooCore::dispatch(Cycle now)
     for (unsigned n = 0; n < params_.fetchWidth; ++n) {
         if (now < fetchResumeAt_ || robFull())
             return;
-        if (!pendingFetch_)
+        if (!hasPendingFetch_) {
             pendingFetch_ = workload_->next();
-        const TraceInstr &instr = *pendingFetch_;
+            hasPendingFetch_ = true;
+        }
+        const TraceInstr &instr = pendingFetch_;
         if (instr.kind == InstrKind::Load && lqUsed_ >= params_.lqSize)
             return;
         if (instr.kind == InstrKind::Store && sqUsed_ >= params_.sqSize)
             return;
         dispatchOne(instr, now);
-        pendingFetch_.reset();
+        hasPendingFetch_ = false;
     }
 }
 
@@ -169,9 +160,17 @@ OooCore::dispatchOne(const TraceInstr &instr, Cycle now)
 {
     const InstrId seq = nextSeq_++;
     RobEntry &e = entry(seq);
-    e = RobEntry{};
+    // Partial reset: the remaining fields (predMeta, wentOffChip,
+    // servedByHermes, l1Issue, mcArrive, readyAt/issueAt) are written
+    // before they are read — predictLoad overwrites predMeta for every
+    // load, the timing fields only matter once returnData ran — and
+    // nextWaiter is zeroed by wake() whenever the slot left a waiter
+    // chain, so a recycled slot always starts with it clear.
     e.instr = instr;
     e.seq = seq;
+    e.blockedCycles = 0;
+    e.firstWaiter = 0;
+    e.lastWaiter = 0;
 
     // Resolve the (optional) data dependence on an older instruction.
     // Only in-flight loads need the wakeup machinery: non-load
@@ -189,7 +188,15 @@ OooCore::dispatchOne(const TraceInstr &instr, Cycle now)
                     producer.instr.kind == InstrKind::Load &&
                     producer.state != State::Done;
                 if (in_flight_load) {
-                    producer.waiters.push_back(seq);
+                    // FIFO append to the producer's intrusive waiter
+                    // list (wake order == registration order, which
+                    // fixes the load issue order downstream).
+                    if (producer.firstWaiter == 0) {
+                        producer.firstWaiter = seq;
+                    } else {
+                        entry(producer.lastWaiter).nextWaiter = seq;
+                    }
+                    producer.lastWaiter = seq;
                     dep_pending = true;
                 } else {
                     dep_ready_at = std::max(dep_ready_at,
@@ -241,20 +248,26 @@ OooCore::dispatchOne(const TraceInstr &instr, Cycle now)
 void
 OooCore::wake(RobEntry &producer, Cycle now)
 {
-    for (const InstrId wseq : producer.waiters) {
-        if (wseq < headSeq_ || wseq >= nextSeq_)
-            continue;
+    InstrId wseq = producer.firstWaiter;
+    while (wseq != 0) {
         RobEntry &w = entry(wseq);
-        if (w.seq != wseq || w.state != State::WaitingDep)
-            continue;
-        w.state = State::Ready;
-        w.readyAt = now + params_.aluLatency;
-        if (w.instr.kind == InstrKind::Load) {
-            w.issueAt = now + params_.agenLatency;
-            readyLoads_.push_back(wseq);
+        const InstrId next = w.nextWaiter;
+        w.nextWaiter = 0;
+        // Waiters cannot retire before their producer wakes them, so
+        // the entry is always live; the guards are defensive.
+        if (wseq >= headSeq_ && wseq < nextSeq_ && w.seq == wseq &&
+            w.state == State::WaitingDep) {
+            w.state = State::Ready;
+            w.readyAt = now + params_.aluLatency;
+            if (w.instr.kind == InstrKind::Load) {
+                w.issueAt = now + params_.agenLatency;
+                readyLoads_.push_back(wseq);
+            }
         }
+        wseq = next;
     }
-    producer.waiters.clear();
+    producer.firstWaiter = 0;
+    producer.lastWaiter = 0;
 }
 
 void

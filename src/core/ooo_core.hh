@@ -24,11 +24,10 @@
  */
 
 #include <cstdint>
-#include <deque>
-#include <optional>
 #include <vector>
 
 #include "cache/mem_iface.hh"
+#include "common/ring.hh"
 #include "common/types.hh"
 #include "core/branch_predictor.hh"
 #include "hermes/hermes.hh"
@@ -88,7 +87,7 @@ struct CoreStats
  * One simulated core. Implements MemClient to receive load data from
  * its L1.
  */
-class OooCore : public MemClient
+class OooCore final : public MemClient
 {
   public:
     /**
@@ -101,8 +100,23 @@ class OooCore : public MemClient
     OooCore(int core_id, CoreParams params, Workload *workload,
             MemDevice *l1d, HermesController *hermes);
 
-    /** Advance one cycle: retire, issue loads, fetch/dispatch. */
-    void tick(Cycle now);
+    /** Advance one cycle: retire, issue loads, fetch/dispatch. Inline
+     * so the per-cycle stage guards avoid four calls when a stage has
+     * nothing to do (stalled on an off-chip load, fetch squashed). */
+    void
+    tick(Cycle now)
+    {
+        now_ = now;
+        ++stats_.cycles;
+        if (!robEmpty())
+            retire(now);
+        if (!readyLoads_.empty())
+            issueLoads(now);
+        if (now >= fetchResumeAt_ && !robFull())
+            dispatch(now);
+        if (hermes_ != nullptr)
+            hermes_->tick(now);
+    }
 
     // MemClient: load data returned by the L1.
     void returnData(const MemRequest &req) override;
@@ -127,6 +141,14 @@ class OooCore : public MemClient
         Done,
     };
 
+    /**
+     * One ROB slot. Trivially copyable on purpose: dispatch resets the
+     * slot with a plain aggregate assignment and no heap traffic. The
+     * dependence wakeup list is an intrusive singly-linked list through
+     * the waiter entries themselves (firstWaiter/lastWaiter on the
+     * producer, nextWaiter on each waiter; seq 0 terminates), replacing
+     * the per-entry std::vector the wakeup loop used to allocate.
+     */
     struct RobEntry
     {
         TraceInstr instr;
@@ -140,7 +162,9 @@ class OooCore : public MemClient
         bool servedByHermes = false;
         Cycle l1Issue = 0;
         Cycle mcArrive = 0;
-        std::vector<InstrId> waiters;
+        InstrId firstWaiter = 0; ///< Head of this entry's waiter list
+        InstrId lastWaiter = 0;  ///< Tail (for O(1) FIFO append)
+        InstrId nextWaiter = 0;  ///< Link when *this* entry is waiting
     };
 
     RobEntry &entry(InstrId seq);
@@ -162,13 +186,18 @@ class OooCore : public MemClient
     HermesController *hermes_;
     BranchPredictor branch_;
 
+    /** ROB storage, sized to the next power of two above robSize so
+     * entry() indexes with a mask instead of a division. Occupancy is
+     * still bounded by robSize (robFull), so slots never alias. */
     std::vector<RobEntry> rob_;
+    InstrId robMask_ = 0;
     InstrId headSeq_ = 1;
     InstrId nextSeq_ = 1; ///< seq 0 reserved as "no dependence"
     unsigned lqUsed_ = 0;
     unsigned sqUsed_ = 0;
-    std::deque<InstrId> readyLoads_;
-    std::optional<TraceInstr> pendingFetch_;
+    Ring<InstrId> readyLoads_;
+    TraceInstr pendingFetch_;
+    bool hasPendingFetch_ = false;
     Cycle fetchResumeAt_ = 0;
     Cycle now_ = 0;
     CoreStats stats_;

@@ -93,6 +93,7 @@ DramController::addRead(const MemRequest &req)
     w.cycleMcArrive = now_;
     e.waiters.push_back(w);
     ch.rq.push_back(std::move(e));
+    ++ch.queuedReads;
     return true;
 }
 
@@ -121,6 +122,7 @@ DramController::addHermes(const MemRequest &req)
     e.hermesOnly = true;
     e.hermesInitiated = true;
     ch.rq.push_back(std::move(e));
+    ++ch.queuedReads;
     ++stats_.hermesIssued;
     return true;
 }
@@ -137,6 +139,7 @@ DramController::addWrite(const MemRequest &req)
     w.row = rowOf(req.line());
     w.arrived = req.cycleCreated;
     ch.wq.push_back(w);
+    ++ch.queuedWrites;
     return true;
 }
 
@@ -181,17 +184,20 @@ void
 DramController::scheduleReads(Channel &ch, Cycle now)
 {
     // FR-FCFS: prefer the oldest row-hit among ready banks, else the
-    // oldest request whose bank is ready.
-    auto ready = [&](const ReadEntry &e) {
-        return e.state == State::Queued && ch.banks[e.bank].readyAt <= now;
-    };
+    // oldest request whose bank is ready. Stop scanning once every
+    // still-Queued entry has been seen (the tail is all in-flight).
     ReadEntry *pick = nullptr;
+    unsigned queued_left = ch.queuedReads;
     for (auto &e : ch.rq) {
-        if (!ready(e))
+        if (queued_left == 0)
+            break;
+        if (e.state != State::Queued)
             continue;
+        --queued_left;
         const Bank &b = ch.banks[e.bank];
-        const bool row_hit = b.open && b.row == e.row;
-        if (row_hit) {
+        if (b.readyAt > now)
+            continue;
+        if (b.open && b.row == e.row) {
             pick = &e;
             break;
         }
@@ -202,6 +208,11 @@ DramController::scheduleReads(Channel &ch, Cycle now)
         return;
     pick->state = State::Issued;
     pick->finishAt = access(ch, pick->bank, pick->row, now);
+    --ch.queuedReads;
+    ch.nextReadFinish = ch.issuedReads == 0
+                            ? pick->finishAt
+                            : std::min(ch.nextReadFinish, pick->finishAt);
+    ++ch.issuedReads;
 }
 
 void
@@ -214,16 +225,33 @@ DramController::scheduleWrites(Channel &ch, Cycle now)
         return;
     it->state = State::Issued;
     it->finishAt = access(ch, it->bank, it->row, now);
+    --ch.queuedWrites;
+    ch.nextWriteFinish = ch.issuedWrites == 0
+                             ? it->finishAt
+                             : std::min(ch.nextWriteFinish, it->finishAt);
+    ++ch.issuedWrites;
 }
 
 void
 DramController::completeReads(Channel &ch, Cycle now)
 {
-    for (auto it = ch.rq.begin(); it != ch.rq.end();) {
+    Cycle next_read = 0;
+    bool have_next_read = false;
+    unsigned issued_left = ch.issuedReads;
+    for (auto it = ch.rq.begin(); issued_left != 0 && it != ch.rq.end();) {
         if (it->state != State::Issued || it->finishAt > now) {
+            if (it->state == State::Issued) {
+                --issued_left;
+                if (!have_next_read || it->finishAt < next_read) {
+                    next_read = it->finishAt;
+                    have_next_read = true;
+                }
+            }
             ++it;
             continue;
         }
+        --issued_left;
+        --ch.issuedReads;
         // Account the serviced read once, by its originating class.
         if (it->hermesInitiated)
             ++stats_.hermesReads;
@@ -247,14 +275,30 @@ DramController::completeReads(Channel &ch, Cycle now)
         }
         it = ch.rq.erase(it);
     }
-    for (auto it = ch.wq.begin(); it != ch.wq.end();) {
+    ch.nextReadFinish = next_read;
+
+    Cycle next_write = 0;
+    bool have_next_write = false;
+    unsigned w_issued_left = ch.issuedWrites;
+    for (auto it = ch.wq.begin();
+         w_issued_left != 0 && it != ch.wq.end();) {
         if (it->state == State::Issued && it->finishAt <= now) {
             ++stats_.writes;
+            --w_issued_left;
+            --ch.issuedWrites;
             it = ch.wq.erase(it);
         } else {
+            if (it->state == State::Issued) {
+                --w_issued_left;
+                if (!have_next_write || it->finishAt < next_write) {
+                    next_write = it->finishAt;
+                    have_next_write = true;
+                }
+            }
             ++it;
         }
     }
+    ch.nextWriteFinish = next_write;
 }
 
 void
@@ -264,7 +308,21 @@ DramController::tick(Cycle now)
     for (auto &ch : channels_) {
         if (ch.rq.empty() && ch.wq.empty())
             continue;
-        completeReads(ch, now);
+        const bool reads_done =
+            ch.issuedReads != 0 && ch.nextReadFinish <= now;
+        const bool writes_done =
+            ch.issuedWrites != 0 && ch.nextWriteFinish <= now;
+        // Idle fast path: nothing completes this cycle and nothing is
+        // waiting for a bank, so neither sweep can make progress — and
+        // the drain-mode hysteresis below is a pure function of queue
+        // sizes, which cannot have changed since it last ran.
+        if (!reads_done && !writes_done && ch.queuedReads == 0 &&
+            ch.queuedWrites == 0)
+            continue;
+        // Sweep completions only when an in-flight access can actually
+        // finish this cycle; otherwise the scan finds nothing.
+        if (reads_done || writes_done)
+            completeReads(ch, now);
 
         // Write drain hysteresis: start draining when the WQ is deep or
         // reads are absent; stop when it has mostly emptied.
@@ -277,10 +335,13 @@ DramController::tick(Cycle now)
             (ch.wq.size() <= params_.wqSize / 2 && !ch.rq.empty()))
             ch.drainingWrites = false;
 
-        if (ch.drainingWrites)
-            scheduleWrites(ch, now);
-        else
+        // The FR-FCFS scan can only pick a Queued entry.
+        if (ch.drainingWrites) {
+            if (ch.queuedWrites != 0)
+                scheduleWrites(ch, now);
+        } else if (ch.queuedReads != 0) {
             scheduleReads(ch, now);
+        }
     }
 }
 

@@ -84,7 +84,7 @@ struct DramStats
 };
 
 /** DDR4-style memory controller. */
-class DramController : public MemDevice
+class DramController final : public MemDevice
 {
   public:
     explicit DramController(DramParams params);
@@ -151,6 +151,18 @@ class DramController : public MemDevice
         std::vector<Bank> banks;
         Cycle busFreeAt = 0;
         bool drainingWrites = false;
+
+        // Scheduler fast-path bookkeeping: how many entries are still
+        // waiting for a bank (Queued) vs in flight (Issued), and the
+        // earliest in-flight completion time. Lets tick() skip the
+        // FR-FCFS scan and the completion sweep on the many cycles
+        // where neither can make progress.
+        unsigned queuedReads = 0;
+        unsigned issuedReads = 0;
+        unsigned queuedWrites = 0;
+        unsigned issuedWrites = 0;
+        Cycle nextReadFinish = 0;
+        Cycle nextWriteFinish = 0;
     };
 
     unsigned channelOf(Addr line) const;

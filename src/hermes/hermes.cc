@@ -35,7 +35,7 @@ HermesController::onLoadIssued(const MemRequest &req, const PredMeta &meta,
 }
 
 void
-HermesController::tick(Cycle now)
+HermesController::drainPending(Cycle now)
 {
     while (!pending_.empty() && pending_.front().issueAt <= now) {
         const MemRequest req = pending_.front().req;

@@ -68,8 +68,15 @@ class HermesController
     void onLoadIssued(const MemRequest &req, const PredMeta &meta,
                       Cycle now);
 
-    /** Drain due Hermes requests into the memory controller. */
-    void tick(Cycle now);
+    /** Drain due Hermes requests into the memory controller. Inline
+     * fast path: this runs every core cycle and is almost always a
+     * no-op. */
+    void
+    tick(Cycle now)
+    {
+        if (!pending_.empty())
+            drainPending(now);
+    }
 
     /** Train + account when the load returns to the core. */
     void onLoadComplete(Addr pc, Addr vaddr, const PredMeta &meta,
@@ -86,6 +93,8 @@ class HermesController
         MemRequest req;
         Cycle issueAt;
     };
+
+    void drainPending(Cycle now);
 
     HermesParams params_;
     OffChipPredictor *predictor_;

@@ -39,7 +39,9 @@ scaleThreshold(int threshold, unsigned active, unsigned total)
 } // namespace
 
 Popet::Popet(PopetParams params)
-    : params_(params), pageBuffer_(params.pageBufferEntries)
+    : params_(params), pageBuffer_(params.pageBufferEntries),
+      pageIndex_(params.pageBufferEntries),
+      pageInvalidLeft_(params.pageBufferEntries)
 {
     assert(params_.weightBits >= 2 && params_.weightBits <= 8);
     for (unsigned f = 0; f < kPopetFeatureCount; ++f)
@@ -71,26 +73,41 @@ Popet::firstAccessHint(Addr vaddr)
     const std::uint64_t bit = 1ull << lineOffsetInPage(vaddr);
     ++pageBufferClock_;
 
-    PageBufferEntry *lru = nullptr;
-    for (auto &e : pageBuffer_) {
-        if (e.valid && e.pageTag == page) {
-            e.lastUse = pageBufferClock_;
-            const bool first = (e.bitmap & bit) == 0;
-            e.bitmap |= bit;
-            return first;
-        }
-        // Track the replacement candidate: any invalid entry wins,
-        // otherwise the least recently used valid entry.
-        if (lru == nullptr || (!e.valid && lru->valid) ||
-            (e.valid == lru->valid && e.lastUse < lru->lastUse))
-            lru = &e;
+    // O(1) hit path through the page index (this runs per prediction).
+    const std::uint32_t slot = pageIndex_.find(page);
+    if (slot != AddrIndex::kNotFound) {
+        PageBufferEntry &e = pageBuffer_[slot];
+        e.lastUse = pageBufferClock_;
+        const bool first = (e.bitmap & bit) == 0;
+        e.bitmap |= bit;
+        return first;
     }
-    // Miss: allocate over the LRU (or an invalid) entry. The line has
-    // not been seen in the tracked window -> first access.
-    lru->valid = true;
-    lru->pageTag = page;
-    lru->bitmap = bit;
-    lru->lastUse = pageBufferClock_;
+
+    // Miss: fill invalid slots in ascending order first, else evict
+    // the least recently used entry (unique clock values, so the
+    // victim is unambiguous). The line has not been seen in the
+    // tracked window -> first access.
+    std::uint32_t victim;
+    if (pageInvalidLeft_ > 0) {
+        victim = static_cast<std::uint32_t>(pageBuffer_.size()) -
+                 pageInvalidLeft_;
+        --pageInvalidLeft_;
+    } else {
+        victim = 0;
+        std::uint64_t oldest = pageBuffer_[0].lastUse;
+        for (std::uint32_t i = 1; i < pageBuffer_.size(); ++i) {
+            if (pageBuffer_[i].lastUse < oldest) {
+                oldest = pageBuffer_[i].lastUse;
+                victim = i;
+            }
+        }
+        pageIndex_.erase(pageBuffer_[victim].pageTag);
+    }
+    PageBufferEntry &e = pageBuffer_[victim];
+    e.pageTag = page;
+    e.bitmap = bit;
+    e.lastUse = pageBufferClock_;
+    pageIndex_.insert(page, victim);
     return true;
 }
 

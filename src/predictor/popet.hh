@@ -27,6 +27,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/addr_index.hh"
 #include "common/types.hh"
 #include "predictor/offchip_pred.hh"
 
@@ -92,7 +93,6 @@ class Popet : public OffChipPredictor
         Addr pageTag = 0;
         std::uint64_t bitmap = 0;
         std::uint64_t lastUse = 0;
-        bool valid = false;
     };
 
     /**
@@ -113,6 +113,11 @@ class Popet : public OffChipPredictor
     int tpScaled_;
     std::array<std::vector<std::int8_t>, kPopetFeatureCount> weights_;
     std::vector<PageBufferEntry> pageBuffer_;
+    /** page tag -> pageBuffer_ slot; hits are O(1) instead of a scan. */
+    AddrIndex pageIndex_;
+    /** Invalid slots left; they fill in ascending index order,
+     * matching the scan-based allocation order they replace. */
+    std::uint32_t pageInvalidLeft_;
     std::uint64_t pageBufferClock_ = 0;
     std::array<Addr, 4> lastLoadPcs_{};
 };

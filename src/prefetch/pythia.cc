@@ -106,22 +106,40 @@ Pythia::pageLocalDelta(Addr line)
     const Addr page = line / kBlocksPerPage;
     const int offset = static_cast<int>(line % kBlocksPerPage);
     ++pageClock_;
-    PageCtx *lru = &pages_.front();
-    for (auto &p : pages_) {
-        if (p.valid && p.page == page) {
-            const int delta = offset - p.lastOffset;
-            p.lastOffset = offset;
-            p.lastUse = pageClock_;
-            return delta;
-        }
-        if (!p.valid || p.lastUse < lru->lastUse)
-            lru = &p;
+
+    // O(1) hit path through the page index (this runs per LLC access).
+    const std::uint32_t slot = pagesIndex_.find(page);
+    if (slot != AddrIndex::kNotFound) {
+        PageCtx &p = pages_[slot];
+        const int delta = offset - p.lastOffset;
+        p.lastOffset = offset;
+        p.lastUse = pageClock_;
+        return delta;
     }
-    *lru = PageCtx{};
-    lru->valid = true;
-    lru->page = page;
-    lru->lastOffset = offset;
-    lru->lastUse = pageClock_;
+
+    // Miss: fill invalid slots from the highest index down first, else
+    // evict the least recently used entry (unique clock values, first
+    // slot wins would-be ties), matching the scan this replaces.
+    std::uint32_t victim;
+    if (pagesInvalidLeft_ > 0) {
+        victim = --pagesInvalidLeft_;
+    } else {
+        victim = 0;
+        std::uint64_t oldest = pages_[0].lastUse;
+        for (std::uint32_t i = 1; i < pages_.size(); ++i) {
+            if (pages_[i].lastUse < oldest) {
+                oldest = pages_[i].lastUse;
+                victim = i;
+            }
+        }
+        pagesIndex_.erase(pages_[victim].page);
+    }
+    PageCtx &p = pages_[victim];
+    p = PageCtx{};
+    p.page = page;
+    p.lastOffset = offset;
+    p.lastUse = pageClock_;
+    pagesIndex_.insert(page, victim);
     return 0;
 }
 

@@ -25,6 +25,7 @@
 #include <deque>
 #include <vector>
 
+#include "common/addr_index.hh"
 #include "common/rng.hh"
 #include "common/types.hh"
 #include "prefetch/prefetcher.hh"
@@ -93,14 +94,20 @@ class Pythia : public Prefetcher
         Addr page = 0;
         int lastOffset = 0;
         std::uint64_t lastUse = 0;
-        bool valid = false;
     };
+
+    static constexpr unsigned kPageCtxEntries = 64;
 
     /** Page-local last offset, so interleaved streams keep clean
      * deltas (Pythia derives its delta feature from page context). */
     int pageLocalDelta(Addr line);
 
-    std::vector<PageCtx> pages_ = std::vector<PageCtx>(64);
+    std::vector<PageCtx> pages_ = std::vector<PageCtx>(kPageCtxEntries);
+    /** page -> pages_ slot; O(1) hit path for the per-access lookup. */
+    AddrIndex pagesIndex_{kPageCtxEntries};
+    /** Invalid slots left; they fill from the highest index down,
+     * matching the scan-based allocation order they replace. */
+    std::uint32_t pagesInvalidLeft_ = kPageCtxEntries;
     std::uint64_t pageClock_ = 0;
     Addr lastLine_ = 0;
     std::array<std::uint8_t, 4> lastOffsets_{};

@@ -1,0 +1,57 @@
+#pragma once
+
+/**
+ * @file
+ * Host-side performance instrumentation for simulation runs: a
+ * monotonic stopwatch and the per-run throughput record (simulated
+ * instructions per host wall-clock second, reported as MIPS).
+ *
+ * The numbers here describe the *simulator*, not the simulated
+ * machine: they are intentionally excluded from statsFingerprint() and
+ * from the default CSV/JSON columns so that determinism checks and
+ * paired sweeps stay reproducible. The bench harness opts into them
+ * with --mips, and bench/perf_gate builds its throughput gate on them.
+ */
+
+#include <chrono>
+#include <cstdint>
+
+namespace hermes
+{
+
+/** Simulator throughput over one System::run invocation. */
+struct HostPerf
+{
+    /** Wall-clock seconds spent inside run() (warmup + measurement). */
+    double seconds = 0;
+    /** Instructions executed by run(), including the warmup window. */
+    std::uint64_t instrs = 0;
+
+    /** Simulated millions of instructions per host second. */
+    double
+    mips() const
+    {
+        return seconds > 0 ? static_cast<double>(instrs) / seconds / 1e6
+                           : 0.0;
+    }
+};
+
+/** Monotonic stopwatch used to fill HostPerf::seconds. */
+class Stopwatch
+{
+  public:
+    Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+
+    double
+    elapsedSeconds() const
+    {
+        return std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - start_)
+            .count();
+    }
+
+  private:
+    std::chrono::steady_clock::time_point start_;
+};
+
+} // namespace hermes

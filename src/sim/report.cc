@@ -121,7 +121,7 @@ num(std::uint64_t v)
 }
 
 std::vector<Field>
-aggregateFields(const RunStats &stats)
+aggregateFields(const RunStats &stats, bool with_host_perf)
 {
     std::uint64_t loads = 0, offchip = 0;
     for (const auto &c : stats.core) {
@@ -136,7 +136,7 @@ aggregateFields(const RunStats &stats)
                   static_cast<double>(stats.simCycles)
             : 0.0;
 
-    return {
+    std::vector<Field> fields = {
         {"cycles", num(stats.simCycles)},
         {"instrs", num(stats.instrsRetired())},
         {"ipc", num(total_ipc)},
@@ -154,6 +154,11 @@ aggregateFields(const RunStats &stats)
         {"pf_useful", num(stats.prefetch.useful)},
         {"power_mw", num(power.total())},
     };
+    if (with_host_perf) {
+        fields.push_back({"sim_mips", num(stats.hostPerf.mips())});
+        fields.push_back({"host_seconds", num(stats.hostPerf.seconds)});
+    }
+    return fields;
 }
 
 /** Escape for a double-quoted JSON string. */
@@ -178,34 +183,147 @@ jsonEscape(const std::string &s)
 } // namespace
 
 std::string
-csvHeader()
+csvHeader(bool with_host_perf)
 {
     // Static mirror of the aggregateFields() names (computing them
     // would run the whole aggregation on empty stats); the report
     // tests assert header arity and keys match the rows.
-    return "label,cycles,instrs,ipc,llc_mpki,loads,offchip_loads,"
-           "pred_accuracy,pred_coverage,dram_reads,dram_writes,"
-           "hermes_issued,hermes_useful,hermes_dropped,pf_issued,"
-           "pf_useful,power_mw";
+    std::string header =
+        "label,cycles,instrs,ipc,llc_mpki,loads,offchip_loads,"
+        "pred_accuracy,pred_coverage,dram_reads,dram_writes,"
+        "hermes_issued,hermes_useful,hermes_dropped,pf_issued,"
+        "pf_useful,power_mw";
+    if (with_host_perf)
+        header += ",sim_mips,host_seconds";
+    return header;
 }
 
 std::string
-formatCsvRow(const std::string &label, const RunStats &stats)
+formatCsvRow(const std::string &label, const RunStats &stats,
+             bool with_host_perf)
 {
     std::string out = label;
-    for (const Field &f : aggregateFields(stats))
+    for (const Field &f : aggregateFields(stats, with_host_perf))
         out += "," + f.value;
     return out;
 }
 
 std::string
-formatJsonRow(const std::string &label, const RunStats &stats)
+formatJsonRow(const std::string &label, const RunStats &stats,
+              bool with_host_perf)
 {
     std::string out = "{\"label\":\"" + jsonEscape(label) + "\"";
-    for (const Field &f : aggregateFields(stats))
+    for (const Field &f : aggregateFields(stats, with_host_perf))
         out += std::string(",\"") + f.name + "\":" + f.value;
     out += "}";
     return out;
+}
+
+namespace
+{
+
+/** Incremental FNV-1a over 64-bit words. */
+class Fnv
+{
+  public:
+    void
+    add(std::uint64_t v)
+    {
+        for (int i = 0; i < 8; ++i) {
+            h_ ^= (v >> (8 * i)) & 0xFF;
+            h_ *= 0x100000001B3ull;
+        }
+    }
+
+    std::uint64_t value() const { return h_; }
+
+  private:
+    std::uint64_t h_ = 0xCBF29CE484222325ull;
+};
+
+void
+addCacheStats(Fnv &h, const CacheStats &c)
+{
+    h.add(c.loadLookups);
+    h.add(c.loadHits);
+    h.add(c.rfoLookups);
+    h.add(c.rfoHits);
+    h.add(c.writebackLookups);
+    h.add(c.writebackHits);
+    h.add(c.prefetchLookups);
+    h.add(c.prefetchDropped);
+    h.add(c.prefetchIssued);
+    h.add(c.mshrMerges);
+    h.add(c.mshrLatePrefetchHits);
+    h.add(c.fills);
+    h.add(c.prefetchFills);
+    h.add(c.evictions);
+    h.add(c.dirtyEvictions);
+    h.add(c.usefulPrefetches);
+    h.add(c.uselessPrefetches);
+    h.add(c.rqRejects);
+}
+
+} // namespace
+
+std::uint64_t
+statsFingerprint(const RunStats &stats)
+{
+    Fnv h;
+    h.add(stats.simCycles);
+    h.add(stats.core.size());
+    for (const CoreStats &c : stats.core) {
+        h.add(c.cycles);
+        h.add(c.instrsRetired);
+        h.add(c.loadsRetired);
+        h.add(c.storesRetired);
+        h.add(c.branchesRetired);
+        h.add(c.branchMispredicts);
+        h.add(c.loadsOffChip);
+        h.add(c.offChipBlocking);
+        h.add(c.offChipNonBlocking);
+        h.add(c.loadsServedByHermes);
+        h.add(c.stallCyclesOffChip);
+        h.add(c.stallCyclesOtherLoad);
+        h.add(c.stallCyclesOther);
+        h.add(c.stallCyclesEliminable);
+    }
+    for (const BranchStats &b : stats.branch) {
+        h.add(b.lookups);
+        h.add(b.mispredicts);
+    }
+    for (const PredictorStats &p : stats.predictor) {
+        h.add(p.truePositives);
+        h.add(p.falsePositives);
+        h.add(p.falseNegatives);
+        h.add(p.trueNegatives);
+    }
+    for (const std::uint64_t c : stats.coreFinishCycle)
+        h.add(c);
+    addCacheStats(h, stats.l1);
+    addCacheStats(h, stats.l2);
+    addCacheStats(h, stats.llc);
+    const DramStats &d = stats.dram;
+    h.add(d.demandReads);
+    h.add(d.prefetchReads);
+    h.add(d.hermesReads);
+    h.add(d.writes);
+    h.add(d.rowHits);
+    h.add(d.rowMisses);
+    h.add(d.rowConflicts);
+    h.add(d.readMerges);
+    h.add(d.wqForwards);
+    h.add(d.hermesIssued);
+    h.add(d.hermesMergedIntoExisting);
+    h.add(d.hermesDropped);
+    h.add(d.hermesUseful);
+    h.add(d.hermesRejected);
+    h.add(stats.prefetch.issued);
+    h.add(stats.prefetch.useful);
+    h.add(stats.prefetch.useless);
+    h.add(stats.hermesRequestsScheduled);
+    h.add(stats.hermesLoadsServed);
+    return h.value();
 }
 
 } // namespace hermes

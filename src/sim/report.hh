@@ -16,16 +16,32 @@ namespace hermes
 /** Multi-section plain-text report of a finished run. */
 std::string formatReport(const RunStats &stats);
 
-/** One-line CSV header matching formatCsvRow(). */
-std::string csvHeader();
+/**
+ * One-line CSV header matching formatCsvRow(). When @p with_host_perf
+ * is set, sim_mips/host_seconds columns are appended; they describe
+ * the simulator's own throughput and are non-deterministic, so they
+ * are opt-in (the bench harness enables them via --mips).
+ */
+std::string csvHeader(bool with_host_perf = false);
 
 /** Flat CSV row (aggregated over cores) for scripted consumption. */
-std::string formatCsvRow(const std::string &label, const RunStats &stats);
+std::string formatCsvRow(const std::string &label, const RunStats &stats,
+                         bool with_host_perf = false);
 
 /**
  * The same flat aggregate as formatCsvRow() as a single JSON object
  * (keys match the csvHeader() column names).
  */
-std::string formatJsonRow(const std::string &label, const RunStats &stats);
+std::string formatJsonRow(const std::string &label, const RunStats &stats,
+                          bool with_host_perf = false);
+
+/**
+ * FNV-1a hash over every deterministic field of @p stats (all integer
+ * counters; host wall-clock measurements are excluded). Two runs of the
+ * same (config, traces, budget) must produce equal fingerprints at any
+ * sweep thread count, and hot-path refactors must not change them —
+ * the golden determinism tests pin a set of these values.
+ */
+std::uint64_t statsFingerprint(const RunStats &stats);
 
 } // namespace hermes

@@ -1,5 +1,7 @@
 #include "sim/simulator.hh"
 
+#include <cmath>
+#include <cstdio>
 #include <cstdlib>
 #include <stdexcept>
 
@@ -12,14 +14,25 @@ SimBudget::fromEnv(std::uint64_t warmup, std::uint64_t sim)
     SimBudget b;
     b.warmupInstrs = warmup;
     b.simInstrs = sim;
-    if (const char *env = std::getenv("HERMES_SIM_SCALE")) {
-        const double scale = std::strtod(env, nullptr);
-        if (scale > 0) {
-            b.warmupInstrs =
-                static_cast<std::uint64_t>(warmup * scale);
-            b.simInstrs = static_cast<std::uint64_t>(sim * scale);
-        }
+    const char *env = std::getenv("HERMES_SIM_SCALE");
+    if (env == nullptr)
+        return b;
+    // Strict parse: the whole string must be one finite positive
+    // number. strtod alone would silently accept trailing garbage
+    // ("2x" -> 2) and NaN/inf, and a typo would silently fall back to
+    // the defaults; warn instead so misconfigured runs are visible.
+    char *end = nullptr;
+    const double scale = std::strtod(env, &end);
+    const bool parsed = end != env && *end == '\0';
+    if (!parsed || !std::isfinite(scale) || scale <= 0) {
+        std::fprintf(stderr,
+                     "warning: ignoring invalid HERMES_SIM_SCALE=\"%s\""
+                     " (expected a finite positive number)\n",
+                     env);
+        return b;
     }
+    b.warmupInstrs = static_cast<std::uint64_t>(warmup * scale);
+    b.simInstrs = static_cast<std::uint64_t>(sim * scale);
     return b;
 }
 

@@ -242,6 +242,7 @@ System::run(std::uint64_t warmup_instrs, std::uint64_t sim_instrs)
     // Generous watchdog: no workload here sustains IPC below ~0.01.
     const std::uint64_t max_cycles =
         (warmup_instrs + sim_instrs) * 400 + 1'000'000;
+    const Stopwatch watch;
 
     auto all_reached = [&](std::uint64_t target) {
         for (const auto &c : cores_)
@@ -253,6 +254,9 @@ System::run(std::uint64_t warmup_instrs, std::uint64_t sim_instrs)
     while (!all_reached(warmup_instrs) && now_ < max_cycles)
         tick();
 
+    std::uint64_t warmup_executed = 0;
+    for (const auto &c : cores_)
+        warmup_executed += c->instrsRetired();
     clearAllStats();
     const Cycle measure_start = now_;
     finishCycle_.assign(n, 0);
@@ -273,6 +277,8 @@ System::run(std::uint64_t warmup_instrs, std::uint64_t sim_instrs)
 
     RunStats stats = collect();
     stats.simCycles = now_ - measure_start;
+    stats.hostPerf.seconds = watch.elapsedSeconds();
+    stats.hostPerf.instrs = warmup_executed + stats.instrsRetired();
     return stats;
 }
 

@@ -17,6 +17,7 @@
 #include "core/ooo_core.hh"
 #include "dram/dram.hh"
 #include "hermes/hermes.hh"
+#include "sim/perf.hh"
 #include "predictor/hmp.hh"
 #include "predictor/offchip_pred.hh"
 #include "predictor/popet.hh"
@@ -88,6 +89,8 @@ struct RunStats
     PrefetcherStats prefetch;
     std::uint64_t hermesRequestsScheduled = 0;
     std::uint64_t hermesLoadsServed = 0;
+    /** Simulator throughput (host-side; excluded from fingerprints). */
+    HostPerf hostPerf;
 
     /** Instructions retired across all cores (measurement window). */
     std::uint64_t instrsRetired() const;

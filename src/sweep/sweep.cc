@@ -176,22 +176,23 @@ SweepEngine::run(const std::vector<GridPoint> &grid) const
 }
 
 std::string
-toCsv(const std::vector<PointResult> &results)
+toCsv(const std::vector<PointResult> &results, bool with_host_perf)
 {
-    std::string out = csvHeader() + "\n";
+    std::string out = csvHeader(with_host_perf) + "\n";
     for (const auto &r : results)
-        out += formatCsvRow(r.label, r.stats) + "\n";
+        out += formatCsvRow(r.label, r.stats, with_host_perf) + "\n";
     return out;
 }
 
 std::string
-toJson(const std::vector<PointResult> &results)
+toJson(const std::vector<PointResult> &results, bool with_host_perf)
 {
     std::string out = "[";
     for (std::size_t i = 0; i < results.size(); ++i) {
         if (i)
             out += ",";
-        out += "\n  " + formatJsonRow(results[i].label, results[i].stats);
+        out += "\n  " + formatJsonRow(results[i].label, results[i].stats,
+                                      with_host_perf);
     }
     out += results.empty() ? "]" : "\n]";
     return out;

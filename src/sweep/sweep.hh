@@ -102,10 +102,16 @@ class SweepEngine
     SweepOptions opts_;
 };
 
-/** csvHeader() plus one formatCsvRow() line per result, grid order. */
-std::string toCsv(const std::vector<PointResult> &results);
+/**
+ * csvHeader() plus one formatCsvRow() line per result, grid order.
+ * @p with_host_perf appends the (non-deterministic) sim_mips and
+ * host_seconds columns; leave it off for reproducible dumps.
+ */
+std::string toCsv(const std::vector<PointResult> &results,
+                  bool with_host_perf = false);
 
 /** JSON array of formatJsonRow() objects, grid order. */
-std::string toJson(const std::vector<PointResult> &results);
+std::string toJson(const std::vector<PointResult> &results,
+                   bool with_host_perf = false);
 
 } // namespace hermes::sweep

@@ -16,11 +16,11 @@
  */
 
 #include <cstdint>
-#include <deque>
-#include <vector>
 #include <memory>
 #include <string>
+#include <vector>
 
+#include "common/ring.hh"
 #include "common/rng.hh"
 #include "common/types.hh"
 #include "trace/workload.hh"
@@ -141,7 +141,7 @@ class SyntheticWorkload : public Workload
 
     SyntheticParams params_;
     Rng rng_;
-    std::deque<TraceInstr> buffer_;
+    Ring<TraceInstr> buffer_;
 
     /** Emission cursor used to assign dependence distances. */
     std::uint32_t emitted_ = 0;

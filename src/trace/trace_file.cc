@@ -119,6 +119,21 @@ FileWorkload::FileWorkload(const std::string &path) : path_(path)
     if (!readBytes(f.get(), &count, sizeof(count)) || count == 0)
         throw std::runtime_error("empty or corrupt trace: " + path);
 
+    // Validate the header's record count against the actual file size
+    // before reserving: a corrupt count must fail cleanly instead of
+    // attempting a multi-exabyte allocation.
+    const long record_start = std::ftell(f.get());
+    if (record_start < 0 || std::fseek(f.get(), 0, SEEK_END) != 0)
+        throw std::runtime_error("cannot size trace file: " + path);
+    const long file_end = std::ftell(f.get());
+    if (file_end < record_start ||
+        std::fseek(f.get(), record_start, SEEK_SET) != 0)
+        throw std::runtime_error("cannot size trace file: " + path);
+    const std::uint64_t available =
+        static_cast<std::uint64_t>(file_end - record_start);
+    if (count > available / sizeof(DiskRecord))
+        throw std::runtime_error("truncated trace file: " + path);
+
     records_.reserve(count);
     for (std::uint64_t i = 0; i < count; ++i) {
         DiskRecord rec{};

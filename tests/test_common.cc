@@ -1,18 +1,145 @@
 // Unit tests for src/common: RNG determinism, saturating counters,
-// statistics helpers and the config parser.
+// statistics helpers, the config parser, the hot-path containers
+// (Ring, AddrIndex) and the HERMES_SIM_SCALE budget parsing.
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+
+#include "common/addr_index.hh"
 #include "common/config.hh"
+#include "common/ring.hh"
 #include "common/rng.hh"
 #include "common/sat_counter.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
+#include "sim/simulator.hh"
 
 namespace hermes
 {
 namespace
 {
+
+/** RAII helper: set an environment variable for one test. */
+class ScopedEnv
+{
+  public:
+    ScopedEnv(const char *name, const char *value) : name_(name)
+    {
+        if (value != nullptr)
+            setenv(name, value, 1);
+        else
+            unsetenv(name);
+    }
+    ~ScopedEnv() { unsetenv(name_); }
+
+  private:
+    const char *name_;
+};
+
+TEST(SimBudgetFromEnv, UnsetKeepsDefaults)
+{
+    ScopedEnv env("HERMES_SIM_SCALE", nullptr);
+    const SimBudget b = SimBudget::fromEnv(100, 400);
+    EXPECT_EQ(b.warmupInstrs, 100u);
+    EXPECT_EQ(b.simInstrs, 400u);
+}
+
+TEST(SimBudgetFromEnv, ValidScaleApplies)
+{
+    ScopedEnv env("HERMES_SIM_SCALE", "2.5");
+    const SimBudget b = SimBudget::fromEnv(100, 400);
+    EXPECT_EQ(b.warmupInstrs, 250u);
+    EXPECT_EQ(b.simInstrs, 1000u);
+}
+
+TEST(SimBudgetFromEnv, FractionalScaleShrinks)
+{
+    ScopedEnv env("HERMES_SIM_SCALE", "0.25");
+    const SimBudget b = SimBudget::fromEnv(1000, 4000);
+    EXPECT_EQ(b.warmupInstrs, 250u);
+    EXPECT_EQ(b.simInstrs, 1000u);
+}
+
+TEST(SimBudgetFromEnv, RejectsTrailingGarbage)
+{
+    ScopedEnv env("HERMES_SIM_SCALE", "2x");
+    const SimBudget b = SimBudget::fromEnv(100, 400);
+    EXPECT_EQ(b.warmupInstrs, 100u);
+    EXPECT_EQ(b.simInstrs, 400u);
+}
+
+TEST(SimBudgetFromEnv, RejectsNonNumericNanInfAndNonPositive)
+{
+    for (const char *bad :
+         {"abc", "", "nan", "inf", "-inf", "-1", "0", "1e999"}) {
+        ScopedEnv env("HERMES_SIM_SCALE", bad);
+        const SimBudget b = SimBudget::fromEnv(100, 400);
+        EXPECT_EQ(b.warmupInstrs, 100u) << bad;
+        EXPECT_EQ(b.simInstrs, 400u) << bad;
+    }
+}
+
+TEST(Ring, FifoSemanticsWithGrowth)
+{
+    Ring<int> r(2);
+    for (int i = 0; i < 100; ++i)
+        r.push_back(i);
+    EXPECT_EQ(r.size(), 100u);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_EQ(r.front(), i);
+        r.pop_front();
+    }
+    EXPECT_TRUE(r.empty());
+}
+
+TEST(Ring, PushFrontForRetry)
+{
+    Ring<int> r;
+    r.push_back(1);
+    r.push_back(2);
+    const int head = r.front();
+    r.pop_front();
+    r.push_front(head); // head-of-line retry pattern
+    EXPECT_EQ(r.front(), 1);
+    r.pop_front();
+    EXPECT_EQ(r.front(), 2);
+}
+
+TEST(AddrIndex, InsertFindErase)
+{
+    AddrIndex idx(16);
+    EXPECT_EQ(idx.find(0x42), AddrIndex::kNotFound);
+    idx.insert(0x42, 3);
+    idx.insert(0x43, 7);
+    EXPECT_EQ(idx.find(0x42), 3u);
+    EXPECT_EQ(idx.find(0x43), 7u);
+    idx.erase(0x42);
+    EXPECT_EQ(idx.find(0x42), AddrIndex::kNotFound);
+    EXPECT_EQ(idx.find(0x43), 7u);
+}
+
+TEST(AddrIndex, SurvivesChurnAgainstReferenceMap)
+{
+    AddrIndex idx(64);
+    Rng rng(99);
+    std::vector<Addr> live;
+    for (int op = 0; op < 20000; ++op) {
+        if (live.size() < 64 && (live.empty() || rng.chance(0.5))) {
+            const Addr line = rng.next() & 0xFFFF;
+            if (idx.find(line) == AddrIndex::kNotFound) {
+                idx.insert(line, static_cast<std::uint32_t>(op));
+                live.push_back(line);
+            }
+        } else {
+            const std::size_t i = rng.below(live.size());
+            idx.erase(live[i]);
+            live.erase(live.begin() + i);
+        }
+        for (const Addr l : live)
+            EXPECT_NE(idx.find(l), AddrIndex::kNotFound);
+    }
+}
 
 TEST(Types, AddressDecomposition)
 {

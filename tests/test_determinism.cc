@@ -1,0 +1,186 @@
+// Golden determinism / regression tests for the simulation hot path.
+//
+// Three layers of protection:
+//  1. a fixed (config, seed) run must produce identical RunStats across
+//     repeated invocations in one process;
+//  2. SweepEngine must produce identical RunStats at any thread count;
+//  3. a small set of golden fingerprints pinned in
+//     tests/golden/fingerprints.txt must match exactly, so hot-path
+//     refactors that silently change simulation results fail loudly.
+//
+// To refresh the goldens after an *intentional* behaviour change, run:
+//   HERMES_UPDATE_GOLDEN=1 ./test_determinism
+// which rewrites the golden file in the source tree.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "sim/report.hh"
+#include "sim/simulator.hh"
+#include "sweep/sweep.hh"
+#include "trace/suite.hh"
+
+#ifndef HERMES_TESTS_DIR
+#define HERMES_TESTS_DIR "tests"
+#endif
+
+namespace hermes
+{
+namespace
+{
+
+SimBudget
+goldenBudget()
+{
+    SimBudget b;
+    b.warmupInstrs = 5'000;
+    b.simInstrs = 20'000;
+    return b;
+}
+
+/** A named golden scenario: key in the golden file + how to run it. */
+struct GoldenCase
+{
+    std::string key;
+    sweep::GridPoint point;
+};
+
+std::vector<GoldenCase>
+goldenCases()
+{
+    const SimBudget b = goldenBudget();
+    const TraceSpec mcf = findTrace("spec06.mcf_like.0");
+    const TraceSpec stream = findTrace("parsec.streamcluster_like.0");
+
+    SystemConfig base = SystemConfig::baseline(1);
+
+    SystemConfig pythia = base;
+    pythia.prefetcher = PrefetcherKind::Pythia;
+
+    SystemConfig hermes_cfg = pythia;
+    hermes_cfg.predictor = PredictorKind::Popet;
+    hermes_cfg.hermesIssueEnabled = true;
+
+    SystemConfig mix_cfg = SystemConfig::baseline(2);
+    mix_cfg.prefetcher = PrefetcherKind::Pythia;
+    mix_cfg.predictor = PredictorKind::Popet;
+    mix_cfg.hermesIssueEnabled = true;
+
+    return {
+        {"one.base.mcf", {"one.base.mcf", base, {mcf}, b}},
+        {"one.pythia.stream", {"one.pythia.stream", pythia, {stream}, b}},
+        {"one.hermes.mcf", {"one.hermes.mcf", hermes_cfg, {mcf}, b}},
+        {"mix2.hermes", {"mix2.hermes", mix_cfg, {mcf, stream}, b}},
+    };
+}
+
+RunStats
+runCase(const GoldenCase &c)
+{
+    if (c.point.traces.size() == 1 && c.point.config.numCores == 1)
+        return simulateOne(c.point.config, c.point.traces[0],
+                           c.point.budget);
+    return simulateMix(c.point.config, c.point.traces, c.point.budget);
+}
+
+std::string
+goldenPath()
+{
+    return std::string(HERMES_TESTS_DIR) + "/golden/fingerprints.txt";
+}
+
+std::map<std::string, std::uint64_t>
+loadGoldens()
+{
+    std::map<std::string, std::uint64_t> out;
+    std::ifstream in(goldenPath());
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.empty() || line[0] == '#')
+            continue;
+        std::istringstream ls(line);
+        std::string key, hex;
+        if (ls >> key >> hex)
+            out[key] = std::stoull(hex, nullptr, 16);
+    }
+    return out;
+}
+
+TEST(Determinism, RepeatedRunsProduceIdenticalStats)
+{
+    for (const GoldenCase &c : goldenCases()) {
+        const RunStats a = runCase(c);
+        const RunStats b = runCase(c);
+        EXPECT_EQ(statsFingerprint(a), statsFingerprint(b)) << c.key;
+        // Spot-check a few fields directly so a fingerprint bug cannot
+        // mask a real divergence.
+        EXPECT_EQ(a.simCycles, b.simCycles) << c.key;
+        EXPECT_EQ(a.instrsRetired(), b.instrsRetired()) << c.key;
+        EXPECT_EQ(a.llc.demandMisses(), b.llc.demandMisses()) << c.key;
+        EXPECT_EQ(a.dram.totalReads(), b.dram.totalReads()) << c.key;
+    }
+}
+
+TEST(Determinism, SweepThreadCountDoesNotChangeStats)
+{
+    std::vector<sweep::GridPoint> grid;
+    for (const GoldenCase &c : goldenCases())
+        grid.push_back(c.point);
+
+    auto fingerprints = [&grid](int threads) {
+        sweep::SweepOptions opts;
+        opts.threads = threads;
+        const auto results = sweep::SweepEngine(opts).run(grid);
+        std::vector<std::uint64_t> fps;
+        for (const auto &r : results)
+            fps.push_back(statsFingerprint(r.stats));
+        return fps;
+    };
+
+    const auto serial = fingerprints(1);
+    EXPECT_EQ(serial, fingerprints(2));
+    EXPECT_EQ(serial, fingerprints(8));
+}
+
+TEST(Determinism, GoldenFingerprintsMatch)
+{
+    std::map<std::string, std::uint64_t> actual;
+    for (const GoldenCase &c : goldenCases())
+        actual[c.key] = statsFingerprint(runCase(c));
+
+    if (std::getenv("HERMES_UPDATE_GOLDEN") != nullptr) {
+        std::ofstream out(goldenPath());
+        ASSERT_TRUE(out) << "cannot write " << goldenPath();
+        out << "# Golden RunStats fingerprints (statsFingerprint).\n"
+            << "# Regenerate: HERMES_UPDATE_GOLDEN=1 ./test_determinism\n";
+        char buf[32];
+        for (const auto &[key, fp] : actual) {
+            std::snprintf(buf, sizeof(buf), "%016llx",
+                          static_cast<unsigned long long>(fp));
+            out << key << " " << buf << "\n";
+        }
+        GTEST_LOG_(INFO) << "golden file updated: " << goldenPath();
+        return;
+    }
+
+    const auto golden = loadGoldens();
+    ASSERT_FALSE(golden.empty())
+        << "missing/empty " << goldenPath()
+        << " - regenerate with HERMES_UPDATE_GOLDEN=1";
+    for (const auto &[key, fp] : actual) {
+        const auto it = golden.find(key);
+        ASSERT_NE(it, golden.end()) << "no golden entry for " << key;
+        EXPECT_EQ(it->second, fp)
+            << key << ": simulation results changed; if intentional, "
+            << "regenerate with HERMES_UPDATE_GOLDEN=1 ./test_determinism";
+    }
+}
+
+} // namespace
+} // namespace hermes

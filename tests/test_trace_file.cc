@@ -1,10 +1,17 @@
-// Tests for binary trace capture and replay.
+// Tests for binary trace capture and replay, including robustness
+// against malformed files: truncated headers/records, bad magic,
+// version mismatches, zero-record files and corrupt record counts
+// must all fail cleanly (an exception, never UB or a partial read),
+// plus a write->read round-trip property test over arbitrary record
+// contents.
 
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 
+#include "common/rng.hh"
 #include "trace/suite.hh"
 #include "trace/trace_file.hh"
 
@@ -12,6 +19,38 @@ namespace hermes
 {
 namespace
 {
+
+/** Workload replaying a fixed vector (for round-trip property tests). */
+class VectorWorkload : public Workload
+{
+  public:
+    explicit VectorWorkload(std::vector<TraceInstr> instrs)
+        : instrs_(std::move(instrs))
+    {
+    }
+
+    const std::string &name() const override { return name_; }
+    const std::string &category() const override { return name_; }
+
+    TraceInstr
+    next() override
+    {
+        const TraceInstr t = instrs_[pos_];
+        pos_ = (pos_ + 1) % instrs_.size();
+        return t;
+    }
+
+    std::unique_ptr<Workload>
+    clone(std::uint64_t) const override
+    {
+        return std::make_unique<VectorWorkload>(instrs_);
+    }
+
+  private:
+    std::string name_ = "vector";
+    std::vector<TraceInstr> instrs_;
+    std::size_t pos_ = 0;
+};
 
 class TraceFileTest : public ::testing::Test
 {
@@ -114,6 +153,128 @@ TEST_F(TraceFileTest, RejectsTruncatedFile)
               static_cast<std::streamsize>(data.size() / 2));
     out.close();
     EXPECT_THROW(FileWorkload{path_}, std::runtime_error);
+}
+
+namespace
+{
+
+/** Read a written trace file back as raw bytes. */
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    return std::string((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+}
+
+/** Write raw bytes (used to craft corrupted files). */
+void
+spit(const std::string &path, const std::string &data)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(data.data(), static_cast<std::streamsize>(data.size()));
+}
+
+/** A small valid trace file's bytes, for corruption tests. */
+std::string
+validTraceBytes(const std::string &path, std::uint64_t records = 8)
+{
+    const TraceSpec spec = findTrace("spec06.lbm_like.0");
+    auto source = spec.make();
+    EXPECT_TRUE(writeTraceFile(path, *source, records, spec.name(),
+                               spec.category()));
+    return slurp(path);
+}
+
+} // namespace
+
+TEST_F(TraceFileTest, RejectsTruncatedHeader)
+{
+    const std::string data = validTraceBytes(path_);
+    // Every prefix that ends inside the header must throw, not read
+    // uninitialised values or crash.
+    for (const std::size_t len : {0u, 4u, 8u, 10u, 12u, 16u, 20u}) {
+        spit(path_, data.substr(0, len));
+        EXPECT_THROW(FileWorkload{path_}, std::runtime_error) << len;
+    }
+}
+
+TEST_F(TraceFileTest, RejectsBadMagic)
+{
+    std::string data = validTraceBytes(path_);
+    data[0] = 'X';
+    spit(path_, data);
+    EXPECT_THROW(FileWorkload{path_}, std::runtime_error);
+}
+
+TEST_F(TraceFileTest, RejectsVersionMismatch)
+{
+    std::string data = validTraceBytes(path_);
+    const std::uint32_t bad_version = kTraceVersion + 1;
+    std::memcpy(data.data() + sizeof(kTraceMagic), &bad_version,
+                sizeof(bad_version));
+    spit(path_, data);
+    EXPECT_THROW(FileWorkload{path_}, std::runtime_error);
+}
+
+TEST_F(TraceFileTest, RejectsZeroRecordFile)
+{
+    const TraceSpec spec = findTrace("spec06.lbm_like.0");
+    auto source = spec.make();
+    ASSERT_TRUE(writeTraceFile(path_, *source, 0, spec.name(),
+                               spec.category()));
+    EXPECT_THROW(FileWorkload{path_}, std::runtime_error);
+}
+
+TEST_F(TraceFileTest, RejectsOversizedRecordCount)
+{
+    std::string data = validTraceBytes(path_, 8);
+    // The record count sits right before the record area: 24 bytes of
+    // fixed header + the two length-prefixed strings.
+    const std::size_t count_off = data.size() - 8 * 24 - sizeof(std::uint64_t);
+    // A count far larger than the file can hold must fail cleanly
+    // (and must not try to reserve ~2^60 records).
+    const std::uint64_t huge = 1ull << 60;
+    std::memcpy(data.data() + count_off, &huge, sizeof(huge));
+    spit(path_, data);
+    EXPECT_THROW(FileWorkload{path_}, std::runtime_error);
+}
+
+TEST_F(TraceFileTest, RoundTripPropertyArbitraryRecords)
+{
+    // Property: any sequence of records (extreme addresses, all kinds,
+    // boundary dep distances) survives a write->read round trip.
+    Rng rng(2024);
+    for (int iter = 0; iter < 5; ++iter) {
+        const std::size_t n = 1 + rng.below(200);
+        std::vector<TraceInstr> instrs;
+        instrs.reserve(n);
+        for (std::size_t i = 0; i < n; ++i) {
+            TraceInstr t;
+            t.pc = rng.next();
+            t.vaddr = rng.next();
+            t.kind = static_cast<InstrKind>(rng.below(4));
+            t.branchTaken = rng.chance(0.5);
+            t.depDistance = static_cast<std::uint32_t>(
+                rng.below(4) == 0 ? rng.next() : rng.below(8));
+            instrs.push_back(t);
+        }
+        VectorWorkload source(instrs);
+        ASSERT_TRUE(writeTraceFile(path_, source,
+                                   static_cast<std::uint64_t>(n),
+                                   "prop", "test"));
+        FileWorkload replay(path_);
+        ASSERT_EQ(replay.recordCount(), n);
+        for (std::size_t i = 0; i < n; ++i) {
+            const TraceInstr r = replay.next();
+            ASSERT_EQ(r.pc, instrs[i].pc) << iter << ":" << i;
+            ASSERT_EQ(r.vaddr, instrs[i].vaddr);
+            ASSERT_EQ(static_cast<int>(r.kind),
+                      static_cast<int>(instrs[i].kind));
+            ASSERT_EQ(r.branchTaken, instrs[i].branchTaken);
+            ASSERT_EQ(r.depDistance, instrs[i].depDistance);
+        }
+    }
 }
 
 } // namespace
