@@ -12,6 +12,7 @@
 #include <cstdio>
 
 #include "harness/harness.hh"
+#include "sim/param_registry.hh"
 
 using namespace hermes;
 using namespace hermes::bench;
@@ -23,19 +24,26 @@ main(int argc, char **argv)
     const SimBudget b = budget(120'000, 300'000);
     const auto nopf = runSuite(cfgNoPrefetch(), b);
 
+    // The evaluated mechanisms, expressed as registry override strings
+    // over the no-prefetching baseline.
+    const std::vector<std::string> hermes_p = {
+        "predictor=popet", "hermes.enabled=true",
+        "hermes.issue_latency=18"};
+    const std::vector<std::string> hermes_o = {
+        "predictor=popet", "hermes.enabled=true",
+        "hermes.issue_latency=6"};
     struct Cfg
     {
         const char *name;
         SystemConfig cfg;
     };
     const Cfg cfgs[] = {
-        {"Hermes-P", withHermes(cfgNoPrefetch(), PredictorKind::Popet, 18)},
-        {"Hermes-O", withHermes(cfgNoPrefetch(), PredictorKind::Popet, 6)},
-        {"Pythia (baseline)", cfgBaseline()},
-        {"Pythia+Hermes-P",
-         withHermes(cfgBaseline(), PredictorKind::Popet, 18)},
-        {"Pythia+Hermes-O",
-         withHermes(cfgBaseline(), PredictorKind::Popet, 6)},
+        {"Hermes-P", configWith(cfgNoPrefetch(), hermes_p)},
+        {"Hermes-O", configWith(cfgNoPrefetch(), hermes_o)},
+        {"Pythia (baseline)",
+         configWith(cfgNoPrefetch(), {"prefetcher=pythia"})},
+        {"Pythia+Hermes-P", configWith(cfgBaseline(), hermes_p)},
+        {"Pythia+Hermes-O", configWith(cfgBaseline(), hermes_o)},
     };
 
     Table t({"config", "SPEC06", "SPEC17", "PARSEC", "Ligra", "CVP",

@@ -10,6 +10,8 @@
 #include <cstdio>
 
 #include "harness/harness.hh"
+#include "sim/param_registry.hh"
+#include "sweep/axis.hh"
 
 using namespace hermes;
 using namespace hermes::bench;
@@ -23,15 +25,20 @@ main(int argc, char **argv)
     const auto pyth = runSuite(cfgBaseline(), b);
     const double base = geomeanSpeedup(pyth, nopf);
 
+    // The sweep axis as a registry spec string over Pythia+Hermes.
+    const SystemConfig hermes_base = configWith(
+        cfgBaseline(), {"predictor=popet", "hermes.enabled=true"});
+
     Table t({"issue latency (cycles)", "Pythia+Hermes speedup",
              "gain over Pythia"});
     t.addRow({"(Pythia alone)", Table::fmt(base), "-"});
-    for (Cycle lat : {0, 3, 6, 9, 12, 15, 18, 21, 24}) {
-        const auto rs = runSuite(
-            withHermes(cfgBaseline(), PredictorKind::Popet, lat), b);
+    for (const auto &pt : sweep::expandAxis(
+             hermes_base,
+             "hermes.issue_latency=0,3,6,9,12,15,18,21,24")) {
+        const auto rs = runSuite(pt.config, b);
         const double s = geomeanSpeedup(rs, nopf);
-        t.addRow({std::to_string(lat), Table::fmt(s),
-                  Table::pct(s / base - 1.0)});
+        t.addRow({std::to_string(pt.config.hermesIssueLatency),
+                  Table::fmt(s), Table::pct(s / base - 1.0)});
     }
     t.print("Fig. 17c: sensitivity to Hermes request issue latency");
     return 0;

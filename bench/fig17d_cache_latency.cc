@@ -12,6 +12,8 @@
 #include <cstdio>
 
 #include "harness/harness.hh"
+#include "sim/param_registry.hh"
+#include "sweep/axis.hh"
 
 using namespace hermes;
 using namespace hermes::bench;
@@ -22,23 +24,32 @@ main(int argc, char **argv)
     initCli(argc, argv);
     const SimBudget b = budget(100'000, 250'000);
 
+    // One string axis, expanded over each evaluated mechanism; the
+    // expansions line up index-by-index because they share the spec.
+    const std::string axis = "llc.latency=25,30,35,40,45,50";
+    const auto nopf_pts = sweep::expandAxis(cfgNoPrefetch(), axis);
+    const auto pyth_pts = sweep::expandAxis(cfgBaseline(), axis);
+    const auto hp_pts = sweep::expandAxis(
+        configWith(cfgBaseline(), {"predictor=popet",
+                                   "hermes.enabled=true",
+                                   "hermes.issue_latency=18"}),
+        axis);
+    const auto ho_pts = sweep::expandAxis(
+        configWith(cfgBaseline(), {"predictor=popet",
+                                   "hermes.enabled=true",
+                                   "hermes.issue_latency=6"}),
+        axis);
+
     Table t({"hierarchy latency", "Pythia", "Pythia+Hermes-P",
              "Pythia+Hermes-O", "Hermes-O gain"});
-    for (Cycle llc_lat : {25, 30, 35, 40, 45, 50}) {
-        auto with_lat = [llc_lat](SystemConfig cfg) {
-            cfg.llcLatency = llc_lat;
-            return cfg;
-        };
-        const auto nopf = runSuite(with_lat(cfgNoPrefetch()), b);
-        const auto pyth = runSuite(with_lat(cfgBaseline()), b);
-        const auto hp = runSuite(
-            with_lat(withHermes(cfgBaseline(), PredictorKind::Popet, 18)),
-            b);
-        const auto ho = runSuite(
-            with_lat(withHermes(cfgBaseline(), PredictorKind::Popet, 6)),
-            b);
+    for (std::size_t i = 0; i < nopf_pts.size(); ++i) {
+        const auto nopf = runSuite(nopf_pts[i].config, b);
+        const auto pyth = runSuite(pyth_pts[i].config, b);
+        const auto hp = runSuite(hp_pts[i].config, b);
+        const auto ho = runSuite(ho_pts[i].config, b);
         const double sp = geomeanSpeedup(pyth, nopf);
         const double so = geomeanSpeedup(ho, nopf);
+        const Cycle llc_lat = nopf_pts[i].config.llcLatency;
         t.addRow({std::to_string(15 + llc_lat) + " cyc", Table::fmt(sp),
                   Table::fmt(geomeanSpeedup(hp, nopf)), Table::fmt(so),
                   Table::pct(so / sp - 1.0)});

@@ -10,6 +10,8 @@
 #include <cstdio>
 
 #include "harness/harness.hh"
+#include "sim/param_registry.hh"
+#include "sweep/axis.hh"
 
 using namespace hermes;
 using namespace hermes::bench;
@@ -20,23 +22,26 @@ main(int argc, char **argv)
     initCli(argc, argv);
     const SimBudget b = budget(100'000, 250'000);
 
+    const std::vector<std::string> hermes_o = {
+        "predictor=popet", "hermes.enabled=true",
+        "hermes.issue_latency=6"};
+    const std::string axis = "core.rob_size=256,512,768,1024";
+    const auto nopf_pts = sweep::expandAxis(cfgNoPrefetch(), axis);
+    const auto herm_pts =
+        sweep::expandAxis(configWith(cfgNoPrefetch(), hermes_o), axis);
+    const auto pyth_pts = sweep::expandAxis(cfgBaseline(), axis);
+    const auto both_pts =
+        sweep::expandAxis(configWith(cfgBaseline(), hermes_o), axis);
+
     Table t({"ROB size", "Hermes", "Pythia", "Pythia+Hermes", "gain"});
-    for (unsigned rob : {256u, 512u, 768u, 1024u}) {
-        auto with_rob = [rob](SystemConfig cfg) {
-            cfg.core.robSize = rob;
-            return cfg;
-        };
-        const auto nopf = runSuite(with_rob(cfgNoPrefetch()), b);
-        const auto herm = runSuite(
-            with_rob(withHermes(cfgNoPrefetch(), PredictorKind::Popet, 6)),
-            b);
-        const auto pyth = runSuite(with_rob(cfgBaseline()), b);
-        const auto both = runSuite(
-            with_rob(withHermes(cfgBaseline(), PredictorKind::Popet, 6)),
-            b);
+    for (std::size_t i = 0; i < nopf_pts.size(); ++i) {
+        const auto nopf = runSuite(nopf_pts[i].config, b);
+        const auto herm = runSuite(herm_pts[i].config, b);
+        const auto pyth = runSuite(pyth_pts[i].config, b);
+        const auto both = runSuite(both_pts[i].config, b);
         const double sp = geomeanSpeedup(pyth, nopf);
         const double sb = geomeanSpeedup(both, nopf);
-        t.addRow({std::to_string(rob),
+        t.addRow({std::to_string(nopf_pts[i].config.core.robSize),
                   Table::fmt(geomeanSpeedup(herm, nopf)), Table::fmt(sp),
                   Table::fmt(sb), Table::pct(sb / sp - 1.0)});
     }

@@ -11,6 +11,8 @@
 #include <cstdio>
 
 #include "harness/harness.hh"
+#include "sim/param_registry.hh"
+#include "sweep/axis.hh"
 
 using namespace hermes;
 using namespace hermes::bench;
@@ -21,23 +23,27 @@ main(int argc, char **argv)
     initCli(argc, argv);
     const SimBudget b = budget(100'000, 250'000);
 
+    const std::vector<std::string> hermes_o = {
+        "predictor=popet", "hermes.enabled=true",
+        "hermes.issue_latency=6"};
+    const std::string axis = "llc.bytes_per_core=3M,6M,12M,24M";
+    const auto nopf_pts = sweep::expandAxis(cfgNoPrefetch(), axis);
+    const auto herm_pts =
+        sweep::expandAxis(configWith(cfgNoPrefetch(), hermes_o), axis);
+    const auto pyth_pts = sweep::expandAxis(cfgBaseline(), axis);
+    const auto both_pts =
+        sweep::expandAxis(configWith(cfgBaseline(), hermes_o), axis);
+
     Table t({"LLC MB/core", "Hermes", "Pythia", "Pythia+Hermes", "gain"});
-    for (std::uint64_t mb : {3ull, 6ull, 12ull, 24ull}) {
-        auto with_llc = [mb](SystemConfig cfg) {
-            cfg.llcBytesPerCore = mb << 20;
-            return cfg;
-        };
-        const auto nopf = runSuite(with_llc(cfgNoPrefetch()), b);
-        const auto herm = runSuite(
-            with_llc(withHermes(cfgNoPrefetch(), PredictorKind::Popet, 6)),
-            b);
-        const auto pyth = runSuite(with_llc(cfgBaseline()), b);
-        const auto both = runSuite(
-            with_llc(withHermes(cfgBaseline(), PredictorKind::Popet, 6)),
-            b);
+    for (std::size_t i = 0; i < nopf_pts.size(); ++i) {
+        const auto nopf = runSuite(nopf_pts[i].config, b);
+        const auto herm = runSuite(herm_pts[i].config, b);
+        const auto pyth = runSuite(pyth_pts[i].config, b);
+        const auto both = runSuite(both_pts[i].config, b);
         const double sp = geomeanSpeedup(pyth, nopf);
         const double sb = geomeanSpeedup(both, nopf);
-        t.addRow({std::to_string(mb),
+        t.addRow({std::to_string(nopf_pts[i].config.llcBytesPerCore >>
+                                 20),
                   Table::fmt(geomeanSpeedup(herm, nopf)), Table::fmt(sp),
                   Table::fmt(sb), Table::pct(sb / sp - 1.0)});
     }

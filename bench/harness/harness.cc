@@ -9,6 +9,7 @@
 #include <unistd.h>
 
 #include "common/stats.hh"
+#include "sim/param_registry.hh"
 
 namespace hermes::bench
 {
@@ -29,7 +30,7 @@ usage(const char *argv0)
         stderr,
         "usage: %s [--threads N] [--suite quick|full] [--scale F]\n"
         "          [--csv FILE] [--json FILE] [--progress|--no-progress]\n"
-        "          [--mips]\n"
+        "          [--mips] [--list]\n"
         "  --threads N   sweep worker threads (default: all cores;\n"
         "                env HERMES_THREADS)\n"
         "  --suite S     trace suite (default quick; env"
@@ -40,7 +41,9 @@ usage(const char *argv0)
         "  --json FILE   dump every simulated point as JSON on exit\n"
         "  --progress    per-point progress meter on stderr\n"
         "  --mips        report simulated-MIPS per grid and add\n"
-        "                sim_mips/host_seconds columns to the dumps\n",
+        "                sim_mips/host_seconds columns to the dumps\n"
+        "  --list        print available predictors, prefetchers,\n"
+        "                suites and registry parameters, then exit\n",
         argv0);
     std::exit(2);
 }
@@ -111,6 +114,9 @@ initCli(int argc, char **argv)
             g_cli.progress = false;
         } else if (arg == "--mips") {
             g_cli.mips = true;
+        } else if (arg == "--list") {
+            std::printf("%s", describeScenarioSpace().c_str());
+            std::exit(0);
         } else {
             usage(argv[0]);
         }

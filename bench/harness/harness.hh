@@ -18,7 +18,9 @@
  *
  * CLI flags (initCli; they win over the environment):
  *  --threads N, --suite quick|full, --scale F, --csv FILE,
- *  --json FILE, --progress, --no-progress, --mips.
+ *  --json FILE, --progress, --no-progress, --mips, --list (print
+ *  available predictors, prefetchers, suites and registry parameters,
+ *  then exit).
  */
 
 #include <cstdint>

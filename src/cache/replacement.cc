@@ -33,4 +33,18 @@ replKindFromString(const std::string &name)
     throw std::invalid_argument("unknown replacement policy: " + name);
 }
 
+const char *
+replKindName(ReplKind kind)
+{
+    switch (kind) {
+      case ReplKind::Lru:
+        return "lru";
+      case ReplKind::Srrip:
+        return "srrip";
+      case ReplKind::Ship:
+        return "ship";
+    }
+    return "?";
+}
+
 } // namespace hermes

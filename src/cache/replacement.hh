@@ -32,6 +32,12 @@ enum class ReplKind : std::uint8_t
     Ship,
 };
 
+/** Parse a policy name ("lru", "srrip", "ship"); throws on unknown. */
+ReplKind replKindFromString(const std::string &name);
+
+/** Printable name for a kind. */
+const char *replKindName(ReplKind kind);
+
 /**
  * Replacement policy interface. The cache informs the policy of every
  * insertion, hit and eviction; the policy picks victims. Way indices
@@ -258,8 +264,5 @@ class ShipPolicy final : public SrripPolicy
 std::unique_ptr<ReplacementPolicy> makeReplacement(ReplKind kind,
                                                    std::uint32_t sets,
                                                    std::uint32_t ways);
-
-/** Parse a policy name ("lru", "srrip", "ship"). */
-ReplKind replKindFromString(const std::string &name);
 
 } // namespace hermes

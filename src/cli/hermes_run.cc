@@ -1,0 +1,383 @@
+/**
+ * @file
+ * hermes_run: build and run any simulation scenario from strings — no
+ * recompiling. Every SystemConfig field is reachable through the
+ * parameter registry as a key=value override (see --list-params), the
+ * workload comes from --trace/--mix, and results land as a summary,
+ * a full report, CSV/JSON rows or a bare deterministic fingerprint.
+ *
+ * The string path is golden-verified: with no overrides, the scenario
+ * equals SystemConfig::baseline and reproduces the library-API
+ * fingerprints pinned in tests/golden/fingerprints.txt.
+ *
+ * Examples:
+ *   hermes_run --trace spec06.mcf_like.0 prefetcher=pythia \
+ *              predictor=popet hermes.enabled=true
+ *   hermes_run --mix spec06.mcf_like.0,ligra.pagerank_like.0 \
+ *              llc.latency=50 --json -
+ *   hermes_run --config scenario.ini --report
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/config.hh"
+#include "sim/param_registry.hh"
+#include "sim/report.hh"
+#include "sim/simulator.hh"
+#include "trace/suite.hh"
+
+namespace
+{
+
+using namespace hermes;
+
+constexpr const char *kDefaultTrace = "spec06.mcf_like.0";
+
+void
+usage(const char *argv0, int exit_code)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s [key=value ...] [options]\n"
+        "Build any simulation scenario from strings (no recompiling).\n"
+        "\n"
+        "scenario:\n"
+        "  key=value        registry parameter override, e.g. llc.ways=16\n"
+        "                   (--key=value also accepted; see --list-params)\n"
+        "  --config FILE    .ini scenario file ('key = value' lines,\n"
+        "                   '#' comments); command-line overrides win\n"
+        "  --trace NAME     workload trace, repeatable (one per core;\n"
+        "                   default %s)\n"
+        "  --mix A,B,...    comma-separated trace list (one per core)\n"
+        "  --warmup N       warmup instructions per core (default 100000)\n"
+        "  --instrs N       measured instructions per core (default 400000)\n"
+        "  --scale F        scale both budgets (env HERMES_SIM_SCALE)\n"
+        "\n"
+        "output:\n"
+        "  --label NAME     row label for CSV/JSON (default: trace names)\n"
+        "  --report         full plain-text statistics report\n"
+        "  --csv FILE|-     header + one CSV row\n"
+        "  --json FILE|-    one JSON object\n"
+        "  --fingerprint    print only the 16-hex deterministic RunStats\n"
+        "                   fingerprint (golden-comparable)\n"
+        "\n"
+        "discovery:\n"
+        "  --list           predictors, prefetchers, replacement policies,\n"
+        "                   suites and all parameters\n"
+        "  --list-params    parameter table only\n"
+        "  -h, --help       this message\n",
+        argv0, kDefaultTrace);
+    std::exit(exit_code);
+}
+
+/** Write @p text to @p path ("-" = stdout); false on write failure. */
+bool
+emit(const std::string &path, const std::string &text)
+{
+    if (path == "-") {
+        const std::size_t n =
+            std::fwrite(text.data(), 1, text.size(), stdout);
+        if (n != text.size() || std::fflush(stdout) != 0) {
+            std::fprintf(stderr,
+                         "error: could not write dump to stdout\n");
+            return false;
+        }
+        return true;
+    }
+    std::ofstream out(path);
+    out << text;
+    out.flush();
+    if (!out) {
+        std::fprintf(stderr, "error: could not write %s\n",
+                     path.c_str());
+        return false;
+    }
+    return true;
+}
+
+struct Options
+{
+    Config overrides;
+    std::vector<std::string> traceNames;
+    std::uint64_t warmup = 100'000;
+    std::uint64_t instrs = 400'000;
+    std::string label;
+    std::string csvPath;
+    std::string jsonPath;
+    bool report = false;
+    bool fingerprintOnly = false;
+};
+
+std::uint64_t
+parseCountOrDie(const std::string &s, const char *argv0)
+{
+    const auto v = parseInt64(s);
+    if (!v || *v < 0) {
+        std::fprintf(stderr, "error: expected a non-negative integer, "
+                             "got '%s'\n",
+                     s.c_str());
+        usage(argv0, 2);
+    }
+    return static_cast<std::uint64_t>(*v);
+}
+
+Options
+parseCli(int argc, char **argv)
+{
+    Options opt;
+    Config file_config;
+    std::vector<std::string> cli_overrides;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        // GNU-style "--opt=value" for the value-taking options; only
+        // unrecognised names fall through to the override branch.
+        std::string inline_val;
+        bool has_inline = false;
+        if (arg.compare(0, 2, "--") == 0) {
+            const auto eq = arg.find('=');
+            if (eq != std::string::npos) {
+                const std::string name = arg.substr(0, eq);
+                for (const char *o :
+                     {"--config", "--trace", "--mix", "--warmup",
+                      "--instrs", "--scale", "--label", "--csv",
+                      "--json"}) {
+                    if (name == o) {
+                        has_inline = true;
+                        inline_val = arg.substr(eq + 1);
+                        arg = name;
+                        break;
+                    }
+                }
+            }
+        }
+        auto value = [&]() -> std::string {
+            if (has_inline)
+                return inline_val;
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "error: %s needs a value\n",
+                             arg.c_str());
+                usage(argv[0], 2);
+            }
+            return argv[++i];
+        };
+        if (arg == "-h" || arg == "--help") {
+            usage(argv[0], 0);
+        } else if (arg == "--list") {
+            std::printf("%s", describeScenarioSpace().c_str());
+            std::exit(0);
+        } else if (arg == "--list-params") {
+            std::printf("%s",
+                        ParamRegistry::instance().describe().c_str());
+            std::exit(0);
+        } else if (arg == "--config") {
+            const std::string path = value();
+            std::ifstream in(path);
+            if (!in) {
+                std::fprintf(stderr, "error: cannot read %s\n",
+                             path.c_str());
+                std::exit(1);
+            }
+            std::ostringstream text;
+            text << in.rdbuf();
+            if (!file_config.parse(text.str())) {
+                std::fprintf(stderr,
+                             "error: malformed line in %s (expected "
+                             "'key = value')\n",
+                             path.c_str());
+                std::exit(1);
+            }
+        } else if (arg == "--trace") {
+            opt.traceNames.push_back(value());
+        } else if (arg == "--mix") {
+            const std::string spec = value();
+            std::size_t start = 0;
+            bool bad = spec.empty();
+            while (!bad && start <= spec.size()) {
+                const std::size_t comma = spec.find(',', start);
+                const std::size_t end =
+                    comma == std::string::npos ? spec.size() : comma;
+                if (end == start) {
+                    bad = true; // empty slot would silently vanish
+                    break;
+                }
+                opt.traceNames.push_back(
+                    spec.substr(start, end - start));
+                if (comma == std::string::npos)
+                    break;
+                start = comma + 1;
+            }
+            if (bad) {
+                std::fprintf(stderr,
+                             "error: --mix wants a non-empty "
+                             "comma-separated trace list, got '%s'\n",
+                             spec.c_str());
+                usage(argv[0], 2);
+            }
+        } else if (arg == "--warmup") {
+            opt.warmup = parseCountOrDie(value(), argv[0]);
+        } else if (arg == "--instrs") {
+            opt.instrs = parseCountOrDie(value(), argv[0]);
+        } else if (arg == "--scale") {
+            // Validate here: SimBudget::fromEnv only warns on bad env
+            // values, but an explicit flag deserves a hard error.
+            const std::string scale = value();
+            const auto v = parseFiniteDouble(scale);
+            if (!v || *v <= 0) {
+                std::fprintf(stderr,
+                             "error: --scale wants a finite positive "
+                             "number, got '%s'\n",
+                             scale.c_str());
+                usage(argv[0], 2);
+            }
+            setenv("HERMES_SIM_SCALE", scale.c_str(), 1);
+        } else if (arg == "--label") {
+            opt.label = value();
+        } else if (arg == "--csv") {
+            opt.csvPath = value();
+        } else if (arg == "--json") {
+            opt.jsonPath = value();
+        } else if (arg == "--report") {
+            opt.report = true;
+        } else if (arg == "--fingerprint") {
+            opt.fingerprintOnly = true;
+        } else if (arg.find('=') != std::string::npos) {
+            // A parameter override; --key=value is also accepted.
+            while (!arg.empty() && arg.front() == '-')
+                arg.erase(arg.begin());
+            cli_overrides.push_back(arg);
+        } else {
+            std::fprintf(stderr, "error: unknown argument '%s'\n",
+                         arg.c_str());
+            usage(argv[0], 2);
+        }
+    }
+
+    // File keys first, command-line overrides after (later wins).
+    opt.overrides = file_config;
+    for (const std::string &kv : cli_overrides) {
+        const auto eq = kv.find('=');
+        if (eq == 0 || eq == std::string::npos) {
+            std::fprintf(stderr, "error: malformed override '%s'\n",
+                         kv.c_str());
+            usage(argv[0], 2);
+        }
+        opt.overrides.set(kv.substr(0, eq), kv.substr(eq + 1));
+    }
+    const int stdout_claims = (opt.fingerprintOnly ? 1 : 0) +
+                              (opt.csvPath == "-" ? 1 : 0) +
+                              (opt.jsonPath == "-" ? 1 : 0);
+    if (stdout_claims > 1) {
+        std::fprintf(stderr,
+                     "error: only one of --fingerprint, --csv - and "
+                     "--json - can claim stdout\n");
+        usage(argv[0], 2);
+    }
+    return opt;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opt = parseCli(argc, argv);
+    try {
+        if (opt.traceNames.empty())
+            opt.traceNames.push_back(kDefaultTrace);
+        std::vector<TraceSpec> traces;
+        for (const std::string &name : opt.traceNames) {
+            try {
+                traces.push_back(findTrace(name));
+            } catch (const std::out_of_range &) {
+                throw std::invalid_argument(
+                    "unknown trace '" + name +
+                    "' (see --list for the suite contents)");
+            }
+        }
+
+        // One trace per core unless a single trace is replicated; when
+        // the scenario does not pin system.cores, the mix size implies
+        // the core count.
+        if (!opt.overrides.contains("system.cores") && traces.size() > 1)
+            opt.overrides.set("system.cores",
+                              std::to_string(traces.size()));
+        const SystemConfig cfg = SystemConfig::fromConfig(opt.overrides);
+        if (traces.size() != 1 &&
+            static_cast<int>(traces.size()) != cfg.numCores)
+            throw std::invalid_argument(
+                "got " + std::to_string(traces.size()) +
+                " traces for a " + std::to_string(cfg.numCores) +
+                "-core system (use one trace per core, or a single "
+                "trace to replicate)");
+
+        const SimBudget budget =
+            SimBudget::fromEnv(opt.warmup, opt.instrs);
+        const RunStats stats = simulate(cfg, traces, budget);
+
+        if (opt.label.empty()) {
+            for (const auto &t : traces)
+                opt.label +=
+                    (opt.label.empty() ? "" : "+") + t.name();
+        }
+
+        // Keep stdout machine-parseable when a dump streams to it.
+        const bool stdout_is_dump =
+            opt.csvPath == "-" || opt.jsonPath == "-";
+        if (opt.fingerprintOnly) {
+            std::printf("%016llx\n",
+                        static_cast<unsigned long long>(
+                            statsFingerprint(stats)));
+        } else if (opt.report) {
+            std::printf("%s", formatReport(stats).c_str());
+        } else if (!stdout_is_dump) {
+            std::printf("scenario %s: %d core(s), prefetcher=%s, "
+                        "predictor=%s, hermes=%s\n",
+                        opt.label.c_str(), cfg.numCores,
+                        prefetcherKindName(cfg.prefetcher),
+                        predictorKindName(cfg.predictor),
+                        cfg.hermesIssueEnabled ? "on" : "off");
+            std::printf("  cycles %llu  instrs %llu  ipc0 %.4f  "
+                        "llc_mpki %.3f\n",
+                        static_cast<unsigned long long>(stats.simCycles),
+                        static_cast<unsigned long long>(
+                            stats.instrsRetired()),
+                        stats.ipc(0), stats.llcMpki());
+            std::printf("  dram_reads %llu  hermes_scheduled %llu  "
+                        "hermes_served %llu\n",
+                        static_cast<unsigned long long>(
+                            stats.dram.totalReads()),
+                        static_cast<unsigned long long>(
+                            stats.hermesRequestsScheduled),
+                        static_cast<unsigned long long>(
+                            stats.hermesLoadsServed));
+            const PredictorStats pred = stats.predTotal();
+            if (pred.total() > 0)
+                std::printf("  pred_accuracy %.3f  pred_coverage %.3f\n",
+                            pred.accuracy(), pred.coverage());
+            std::printf("  fingerprint %016llx\n",
+                        static_cast<unsigned long long>(
+                            statsFingerprint(stats)));
+        }
+
+        bool dumps_ok = true;
+        if (!opt.csvPath.empty())
+            dumps_ok &= emit(opt.csvPath,
+                             csvHeader() + "\n" +
+                                 formatCsvRow(opt.label, stats) + "\n");
+        if (!opt.jsonPath.empty())
+            dumps_ok &= emit(opt.jsonPath,
+                             formatJsonRow(opt.label, stats) + "\n");
+        return dumps_ok ? 0 : 1;
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+    }
+}

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cerrno>
+#include <cmath>
 #include <cstdlib>
 #include <sstream>
 
@@ -21,6 +23,88 @@ trim(const std::string &s)
 }
 
 } // namespace
+
+std::optional<std::int64_t>
+parseInt64(const std::string &s)
+{
+    char *end = nullptr;
+    errno = 0;
+    const long long v = std::strtoll(s.c_str(), &end, 0);
+    if (end == s.c_str() || *end != '\0' || errno == ERANGE)
+        return std::nullopt;
+    return static_cast<std::int64_t>(v);
+}
+
+std::optional<std::uint64_t>
+parseUint64(const std::string &s)
+{
+    // strtoull silently wraps negatives ("-1" -> UINT64_MAX); reject
+    // any minus sign up front.
+    if (s.find('-') != std::string::npos)
+        return std::nullopt;
+    char *end = nullptr;
+    errno = 0;
+    const unsigned long long v = std::strtoull(s.c_str(), &end, 0);
+    if (end == s.c_str() || *end != '\0' || errno == ERANGE)
+        return std::nullopt;
+    return static_cast<std::uint64_t>(v);
+}
+
+std::optional<double>
+parseFiniteDouble(const std::string &s)
+{
+    char *end = nullptr;
+    const double v = std::strtod(s.c_str(), &end);
+    // Overflow parses to +-inf; "nan"/"inf" literals are rejected the
+    // same way (no configuration knob here has a non-finite meaning).
+    if (end == s.c_str() || *end != '\0' || !std::isfinite(v))
+        return std::nullopt;
+    return v;
+}
+
+std::optional<bool>
+parseBoolWord(const std::string &s)
+{
+    std::string v = s;
+    std::transform(v.begin(), v.end(), v.begin(),
+                   [](unsigned char c) { return std::tolower(c); });
+    if (v == "1" || v == "true" || v == "yes" || v == "on")
+        return true;
+    if (v == "0" || v == "false" || v == "no" || v == "off")
+        return false;
+    return std::nullopt;
+}
+
+std::optional<std::uint64_t>
+parseSizeBytes(const std::string &s)
+{
+    if (s.empty())
+        return std::nullopt;
+    std::uint64_t mult = 1;
+    std::string digits = s;
+    switch (std::tolower(static_cast<unsigned char>(s.back()))) {
+      case 'k':
+        mult = 1ull << 10;
+        break;
+      case 'm':
+        mult = 1ull << 20;
+        break;
+      case 'g':
+        mult = 1ull << 30;
+        break;
+      default:
+        break;
+    }
+    if (mult != 1)
+        digits = s.substr(0, s.size() - 1);
+    const auto v = parseInt64(digits);
+    if (!v || *v < 0)
+        return std::nullopt;
+    const std::uint64_t u = static_cast<std::uint64_t>(*v);
+    if (mult != 1 && u > UINT64_MAX / mult)
+        return std::nullopt;
+    return u * mult;
+}
 
 bool
 Config::parse(const std::string &text)
@@ -91,42 +175,21 @@ std::optional<std::int64_t>
 Config::getInt(const std::string &key) const
 {
     auto s = getString(key);
-    if (!s)
-        return std::nullopt;
-    char *end = nullptr;
-    const long long v = std::strtoll(s->c_str(), &end, 0);
-    if (end == s->c_str() || *end != '\0')
-        return std::nullopt;
-    return static_cast<std::int64_t>(v);
+    return s ? parseInt64(*s) : std::nullopt;
 }
 
 std::optional<double>
 Config::getDouble(const std::string &key) const
 {
     auto s = getString(key);
-    if (!s)
-        return std::nullopt;
-    char *end = nullptr;
-    const double v = std::strtod(s->c_str(), &end);
-    if (end == s->c_str() || *end != '\0')
-        return std::nullopt;
-    return v;
+    return s ? parseFiniteDouble(*s) : std::nullopt;
 }
 
 std::optional<bool>
 Config::getBool(const std::string &key) const
 {
     auto s = getString(key);
-    if (!s)
-        return std::nullopt;
-    std::string v = *s;
-    std::transform(v.begin(), v.end(), v.begin(),
-                   [](unsigned char c) { return std::tolower(c); });
-    if (v == "1" || v == "true" || v == "yes" || v == "on")
-        return true;
-    if (v == "0" || v == "false" || v == "no" || v == "off")
-        return false;
-    return std::nullopt;
+    return s ? parseBoolWord(*s) : std::nullopt;
 }
 
 std::string

@@ -17,6 +17,22 @@
 namespace hermes
 {
 
+/**
+ * Strict scalar parsers shared by Config and the parameter registry.
+ * The whole string must parse: trailing garbage, overflow and (for
+ * doubles) NaN/inf are rejected with std::nullopt.
+ */
+std::optional<std::int64_t> parseInt64(const std::string &s);
+std::optional<std::uint64_t> parseUint64(const std::string &s);
+std::optional<double> parseFiniteDouble(const std::string &s);
+std::optional<bool> parseBoolWord(const std::string &s);
+
+/**
+ * parseInt64 plus case-insensitive K/M/G suffixes (powers of 1024),
+ * e.g. "3M" == 3145728. Negative values and overflow are rejected.
+ */
+std::optional<std::uint64_t> parseSizeBytes(const std::string &s);
+
 /** Ordered key=value store with typed accessors. */
 class Config
 {

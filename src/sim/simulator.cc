@@ -63,4 +63,20 @@ simulateMix(const SystemConfig &config,
     return system.run(budget.warmupInstrs, budget.simInstrs);
 }
 
+RunStats
+simulate(const SystemConfig &config, std::vector<TraceSpec> traces,
+         const SimBudget &budget)
+{
+    if (traces.empty())
+        throw std::invalid_argument("simulate needs at least one trace");
+    if (config.numCores == 1 && traces.size() == 1)
+        return simulateOne(config, traces[0], budget);
+    if (traces.size() == 1) {
+        const TraceSpec t = traces[0]; // copy: assign() would read a
+                                       // reference into itself
+        traces.assign(static_cast<std::size_t>(config.numCores), t);
+    }
+    return simulateMix(config, traces, budget);
+}
+
 } // namespace hermes

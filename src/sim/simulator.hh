@@ -44,4 +44,13 @@ RunStats simulateMix(const SystemConfig &config,
                      const std::vector<TraceSpec> &traces,
                      const SimBudget &budget);
 
+/**
+ * Dispatch to simulateOne/simulateMix on config.numCores. A single
+ * trace on a multi-core config is replicated across all cores (the
+ * homogeneous-mix convention); otherwise @p traces must have one entry
+ * per core.
+ */
+RunStats simulate(const SystemConfig &config,
+                  std::vector<TraceSpec> traces, const SimBudget &budget);
+
 } // namespace hermes

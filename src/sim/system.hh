@@ -28,6 +28,8 @@
 namespace hermes
 {
 
+class Config;
+
 /** Complete system configuration (Table 4 defaults for one core). */
 struct SystemConfig
 {
@@ -71,6 +73,25 @@ struct SystemConfig
 
     /** Baseline single/multi-core configuration per Table 4. */
     static SystemConfig baseline(int cores);
+
+    /**
+     * Build a configuration from dotted string keys ("llc.ways=16",
+     * "popet.act_threshold=-20", ...) validated against the parameter
+     * registry (sim/param_registry.hh). Starts from
+     * baseline(system.cores) so derived defaults (DRAM channels per
+     * core count) match the struct API, then applies every other key
+     * in insertion order. Throws std::invalid_argument on unknown keys
+     * (with a nearest-key suggestion), unparsable or out-of-range
+     * values, and non-power-of-two geometry.
+     */
+    static SystemConfig fromConfig(const Config &config);
+
+    /**
+     * The registry round trip: every registered key with this
+     * configuration's current value. fromConfig(toConfig()) rebuilds
+     * an identical configuration.
+     */
+    Config toConfig() const;
 };
 
 /** Aggregated results of one simulation run. */

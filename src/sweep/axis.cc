@@ -1,0 +1,73 @@
+#include "sweep/axis.hh"
+
+#include <stdexcept>
+
+#include "sim/param_registry.hh"
+
+namespace hermes::sweep
+{
+
+Axis
+parseAxis(const std::string &spec)
+{
+    const auto eq = spec.find('=');
+    if (eq == std::string::npos || eq == 0)
+        throw std::invalid_argument(
+            "axis spec must look like key=v1,v2,...; got '" + spec +
+            "'");
+    Axis axis;
+    axis.key = spec.substr(0, eq);
+    ParamRegistry::instance().findOrThrow(axis.key);
+    std::size_t start = eq + 1;
+    while (start <= spec.size()) {
+        const std::size_t comma = spec.find(',', start);
+        const std::size_t end =
+            comma == std::string::npos ? spec.size() : comma;
+        if (end == start)
+            throw std::invalid_argument("axis spec '" + spec +
+                                        "' has an empty value");
+        axis.values.push_back(spec.substr(start, end - start));
+        if (comma == std::string::npos)
+            break;
+        start = comma + 1;
+    }
+    if (axis.values.empty())
+        throw std::invalid_argument("axis spec '" + spec +
+                                    "' has no values");
+    return axis;
+}
+
+std::vector<ConfigPoint>
+expandAxis(const SystemConfig &base, const std::string &spec)
+{
+    const Axis axis = parseAxis(spec);
+    std::vector<ConfigPoint> out;
+    out.reserve(axis.values.size());
+    for (const std::string &v : axis.values) {
+        ConfigPoint pt{axis.key + "=" + v, base};
+        ParamRegistry::instance().apply(pt.config, axis.key, v);
+        out.push_back(std::move(pt));
+    }
+    return out;
+}
+
+std::vector<ConfigPoint>
+expandGrid(const SystemConfig &base, const std::vector<std::string> &specs)
+{
+    std::vector<ConfigPoint> points{{"", base}};
+    for (const std::string &spec : specs) {
+        std::vector<ConfigPoint> next;
+        for (const ConfigPoint &pt : points) {
+            for (ConfigPoint &sub : expandAxis(pt.config, spec)) {
+                sub.label = pt.label.empty()
+                                ? sub.label
+                                : pt.label + "/" + sub.label;
+                next.push_back(std::move(sub));
+            }
+        }
+        points = std::move(next);
+    }
+    return points;
+}
+
+} // namespace hermes::sweep

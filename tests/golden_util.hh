@@ -1,0 +1,60 @@
+#pragma once
+
+// Shared helpers for the golden-fingerprint layer. The pinned budget,
+// the golden file location and its loader live here so
+// test_determinism.cc (which owns regeneration via
+// HERMES_UPDATE_GOLDEN) and test_param_registry.cc (which compares the
+// string-built configuration path against the same goldens) can never
+// drift apart. The CI hermes_run smoke mirrors goldenBudget() as
+// --warmup 5000 --instrs 20000.
+
+#include <cstdint>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "sim/simulator.hh"
+
+#ifndef HERMES_TESTS_DIR
+#define HERMES_TESTS_DIR "tests"
+#endif
+
+namespace hermes::golden
+{
+
+/** The budget every golden fingerprint was captured with. */
+inline SimBudget
+goldenBudget()
+{
+    SimBudget b;
+    b.warmupInstrs = 5'000;
+    b.simInstrs = 20'000;
+    return b;
+}
+
+inline std::string
+goldenPath()
+{
+    return std::string(HERMES_TESTS_DIR) + "/golden/fingerprints.txt";
+}
+
+/** Parse "key hex" lines; '#' comments and blanks are skipped. */
+inline std::map<std::string, std::uint64_t>
+loadGoldens()
+{
+    std::map<std::string, std::uint64_t> out;
+    std::ifstream in(goldenPath());
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.empty() || line[0] == '#')
+            continue;
+        std::istringstream ls(line);
+        std::string key, hex;
+        if (ls >> key >> hex)
+            out[key] = std::stoull(hex, nullptr, 16);
+    }
+    return out;
+}
+
+} // namespace hermes::golden

@@ -328,5 +328,83 @@ TEST(Config, LaterKeysOverride)
     EXPECT_EQ(c.keys().size(), 1u);
 }
 
+TEST(Config, GetIntRejectsGarbageAndOverflow)
+{
+    Config c;
+    c.set("trailing", "12x");
+    c.set("empty", "");
+    c.set("huge", "99999999999999999999999");
+    c.set("neg_huge", "-99999999999999999999999");
+    c.set("float", "1.5");
+    c.set("hex", "0x40");
+    c.set("neg", "-7");
+    EXPECT_FALSE(c.getInt("trailing"));
+    EXPECT_FALSE(c.getInt("empty"));
+    EXPECT_FALSE(c.getInt("huge"));
+    EXPECT_FALSE(c.getInt("neg_huge"));
+    EXPECT_FALSE(c.getInt("float"));
+    EXPECT_EQ(c.getInt("hex"), 0x40);
+    EXPECT_EQ(c.getInt("neg"), -7);
+}
+
+TEST(Config, GetDoubleRejectsGarbageNanAndInf)
+{
+    Config c;
+    c.set("trailing", "2.5x");
+    c.set("nan", "nan");
+    c.set("inf", "inf");
+    c.set("neg_inf", "-inf");
+    c.set("overflow", "1e999");
+    c.set("ok", "2.5e2");
+    c.set("underflow", "1e-999"); // flushes to ~0: finite, accepted
+    EXPECT_FALSE(c.getDouble("trailing"));
+    EXPECT_FALSE(c.getDouble("nan"));
+    EXPECT_FALSE(c.getDouble("inf"));
+    EXPECT_FALSE(c.getDouble("neg_inf"));
+    EXPECT_FALSE(c.getDouble("overflow"));
+    EXPECT_DOUBLE_EQ(c.getDouble("ok").value(), 250.0);
+    EXPECT_TRUE(c.getDouble("underflow").has_value());
+}
+
+TEST(Config, GetBoolRejectsNonBoolWords)
+{
+    Config c;
+    c.set("two", "2");
+    c.set("word", "maybe");
+    c.set("empty", "");
+    c.set("yes", "YES");
+    c.set("off", "off");
+    EXPECT_FALSE(c.getBool("two"));
+    EXPECT_FALSE(c.getBool("word"));
+    EXPECT_FALSE(c.getBool("empty"));
+    EXPECT_EQ(c.getBool("yes"), true);
+    EXPECT_EQ(c.getBool("off"), false);
+}
+
+TEST(ParseUint64, FullRangeAndRejection)
+{
+    EXPECT_EQ(parseUint64("0"), 0u);
+    EXPECT_EQ(parseUint64("18446744073709551615"), UINT64_MAX);
+    EXPECT_FALSE(parseUint64("18446744073709551616")); // overflow
+    EXPECT_FALSE(parseUint64("-1")); // strtoull would silently wrap
+    EXPECT_FALSE(parseUint64("12x"));
+    EXPECT_FALSE(parseUint64(""));
+}
+
+TEST(ParseSizeBytes, SuffixesAndRejection)
+{
+    EXPECT_EQ(parseSizeBytes("64"), 64u);
+    EXPECT_EQ(parseSizeBytes("3K"), 3072u);
+    EXPECT_EQ(parseSizeBytes("3k"), 3072u);
+    EXPECT_EQ(parseSizeBytes("6M"), 6ull << 20);
+    EXPECT_EQ(parseSizeBytes("2G"), 2ull << 30);
+    EXPECT_FALSE(parseSizeBytes(""));
+    EXPECT_FALSE(parseSizeBytes("M"));
+    EXPECT_FALSE(parseSizeBytes("-3M"));
+    EXPECT_FALSE(parseSizeBytes("3.5M"));
+    EXPECT_FALSE(parseSizeBytes("3MB"));
+    EXPECT_FALSE(parseSizeBytes("99999999999999999999G"));
+}
+
 } // namespace
 } // namespace hermes

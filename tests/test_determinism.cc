@@ -21,28 +21,20 @@
 #include <string>
 #include <vector>
 
+#include "golden_util.hh"
 #include "sim/report.hh"
 #include "sim/simulator.hh"
 #include "sweep/sweep.hh"
 #include "trace/suite.hh"
-
-#ifndef HERMES_TESTS_DIR
-#define HERMES_TESTS_DIR "tests"
-#endif
 
 namespace hermes
 {
 namespace
 {
 
-SimBudget
-goldenBudget()
-{
-    SimBudget b;
-    b.warmupInstrs = 5'000;
-    b.simInstrs = 20'000;
-    return b;
-}
+using golden::goldenBudget;
+using golden::goldenPath;
+using golden::loadGoldens;
 
 /** A named golden scenario: key in the golden file + how to run it. */
 struct GoldenCase
@@ -87,29 +79,6 @@ runCase(const GoldenCase &c)
         return simulateOne(c.point.config, c.point.traces[0],
                            c.point.budget);
     return simulateMix(c.point.config, c.point.traces, c.point.budget);
-}
-
-std::string
-goldenPath()
-{
-    return std::string(HERMES_TESTS_DIR) + "/golden/fingerprints.txt";
-}
-
-std::map<std::string, std::uint64_t>
-loadGoldens()
-{
-    std::map<std::string, std::uint64_t> out;
-    std::ifstream in(goldenPath());
-    std::string line;
-    while (std::getline(in, line)) {
-        if (line.empty() || line[0] == '#')
-            continue;
-        std::istringstream ls(line);
-        std::string key, hex;
-        if (ls >> key >> hex)
-            out[key] = std::stoull(hex, nullptr, 16);
-    }
-    return out;
 }
 
 TEST(Determinism, RepeatedRunsProduceIdenticalStats)

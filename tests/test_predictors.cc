@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <stdexcept>
 
 #include "common/rng.hh"
 #include "predictor/hmp.hh"
@@ -202,6 +203,27 @@ TEST_P(TtpRandomTest, NeverExceedsCapacity)
 
 INSTANTIATE_TEST_SUITE_P(Ways, TtpRandomTest,
                          ::testing::Values(2u, 4u, 8u, 11u));
+
+TEST(PredictorKindStrings, RoundTripsEveryKind)
+{
+    for (const PredictorKind kind :
+         {PredictorKind::None, PredictorKind::Popet, PredictorKind::Hmp,
+          PredictorKind::Ttp, PredictorKind::Ideal}) {
+        const char *name = predictorKindName(kind);
+        EXPECT_STRNE(name, "?");
+        EXPECT_EQ(predictorKindFromString(name), kind) << name;
+    }
+}
+
+TEST(PredictorKindStrings, UnknownNameThrows)
+{
+    EXPECT_THROW(predictorKindFromString("perceptron"),
+                 std::invalid_argument);
+    EXPECT_THROW(predictorKindFromString(""), std::invalid_argument);
+    // Parsing is exact: no case folding or whitespace trimming.
+    EXPECT_THROW(predictorKindFromString("Popet"),
+                 std::invalid_argument);
+}
 
 } // namespace
 } // namespace hermes

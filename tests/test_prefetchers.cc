@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <stdexcept>
 
 #include "common/rng.hh"
 #include "prefetch/bingo.hh"
@@ -337,6 +338,28 @@ INSTANTIATE_TEST_SUITE_P(
     [](const auto &info) {
         return std::string(prefetcherKindName(info.param));
     });
+
+TEST(PrefetcherKindStrings, RoundTripsEveryKind)
+{
+    for (const PrefetcherKind kind :
+         {PrefetcherKind::None, PrefetcherKind::Streamer,
+          PrefetcherKind::Spp, PrefetcherKind::Bingo,
+          PrefetcherKind::Mlop, PrefetcherKind::Sms,
+          PrefetcherKind::Pythia}) {
+        const char *name = prefetcherKindName(kind);
+        EXPECT_STRNE(name, "?");
+        EXPECT_EQ(prefetcherKindFromString(name), kind) << name;
+    }
+}
+
+TEST(PrefetcherKindStrings, UnknownNameThrows)
+{
+    EXPECT_THROW(prefetcherKindFromString("stride"),
+                 std::invalid_argument);
+    EXPECT_THROW(prefetcherKindFromString(""), std::invalid_argument);
+    EXPECT_THROW(prefetcherKindFromString("Pythia"),
+                 std::invalid_argument);
+}
 
 } // namespace
 } // namespace hermes

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
 #include "cache/replacement.hh"
 
 namespace hermes
@@ -141,6 +143,22 @@ INSTANTIATE_TEST_SUITE_P(
                                          ReplKind::Ship),
                        ::testing::Values(1u, 16u, 64u),
                        ::testing::Values(1u, 4u, 12u, 20u)));
+
+TEST(ReplKindStrings, RoundTripsEveryKind)
+{
+    for (const ReplKind kind :
+         {ReplKind::Lru, ReplKind::Srrip, ReplKind::Ship}) {
+        const char *name = replKindName(kind);
+        EXPECT_STRNE(name, "?");
+        EXPECT_EQ(replKindFromString(name), kind) << name;
+    }
+}
+
+TEST(ReplKindStrings, UnknownNameThrows)
+{
+    EXPECT_THROW(replKindFromString("fifo"), std::invalid_argument);
+    EXPECT_THROW(replKindFromString(""), std::invalid_argument);
+}
 
 } // namespace
 } // namespace hermes
