@@ -38,6 +38,11 @@ main(int argc, char **argv)
     unsigned hermes_wins = 0;
     for (std::size_t i = 0; i < nopf.size(); ++i) {
         const double base = nopf[i].stats.ipc(0);
+        // IPC 0 means "no data" (e.g. a grid point another shard
+        // owns): a ratio against it would print inf/nan rows.
+        if (base <= 0 || herm[i].stats.ipc(0) <= 0 ||
+            pyth[i].stats.ipc(0) <= 0 || both[i].stats.ipc(0) <= 0)
+            continue;
         Row r{nopf[i].trace, herm[i].stats.ipc(0) / base,
               pyth[i].stats.ipc(0) / base, both[i].stats.ipc(0) / base};
         hermes_wins += r.hermes > r.pythia;

@@ -5,11 +5,14 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <mutex>
+#include <stdexcept>
 #include <unistd.h>
 
 #include "common/stats.hh"
 #include "sim/param_registry.hh"
+#include "sweep/journal.hh"
 
 namespace hermes::bench
 {
@@ -23,6 +26,20 @@ CliOptions g_cli;
 std::vector<sweep::PointResult> g_all_results;
 std::mutex g_all_results_mutex;
 
+/** Orchestration state: journal writer, resumed segments, cursor. */
+std::unique_ptr<sweep::JournalWriter> g_journal;
+std::vector<sweep::JournalSegment> g_resume;
+std::size_t g_segment_index = 0;
+bool g_last_grid_complete = true;
+bool g_any_grid_incomplete = false;
+
+bool
+orchestrated()
+{
+    return !g_cli.journalPath.empty() || !g_resume.empty() ||
+           g_cli.shard.count > 1;
+}
+
 void
 usage(const char *argv0)
 {
@@ -30,18 +47,25 @@ usage(const char *argv0)
         stderr,
         "usage: %s [--threads N] [--suite quick|full] [--scale F]\n"
         "          [--csv FILE] [--json FILE] [--progress|--no-progress]\n"
-        "          [--mips] [--list]\n"
-        "  --threads N   sweep worker threads (default: all cores;\n"
-        "                env HERMES_THREADS)\n"
+        "          [--mips] [--shard i/N] [--journal FILE]\n"
+        "          [--resume FILE]... [--list]\n"
+        "  --threads N   sweep worker threads (0 = all hardware\n"
+        "                threads, the default; env HERMES_THREADS)\n"
         "  --suite S     trace suite (default quick; env"
         " HERMES_BENCH_SUITE)\n"
         "  --scale F     scale instruction budgets (env"
         " HERMES_SIM_SCALE)\n"
         "  --csv FILE    dump every simulated point as CSV on exit\n"
         "  --json FILE   dump every simulated point as JSON on exit\n"
-        "  --progress    per-point progress meter on stderr\n"
+        "  --progress    per-point meter with points/sec and ETA\n"
         "  --mips        report simulated-MIPS per grid and add\n"
         "                sim_mips/host_seconds columns to the dumps\n"
+        "  --shard i/N   simulate only slice i of every grid's\n"
+        "                deterministic N-way partition\n"
+        "  --journal FILE  record completed points as crash-safe JSONL\n"
+        "                (one segment per grid this driver fans out)\n"
+        "  --resume FILE   skip points already recorded in FILE\n"
+        "                (repeatable; shard journals union together)\n"
         "  --list        print available predictors, prefetchers,\n"
         "                suites and registry parameters, then exit\n",
         argv0);
@@ -63,6 +87,10 @@ void
 flushSweepDumps()
 {
     std::lock_guard<std::mutex> g(g_all_results_mutex);
+    if (g_any_grid_incomplete)
+        std::fprintf(stderr,
+                     "note: --csv/--json dumps hold only the points "
+                     "this shard covered\n");
     if (!g_cli.csvPath.empty()) {
         std::ofstream out(g_cli.csvPath);
         out << sweep::toCsv(g_all_results, g_cli.mips);
@@ -114,6 +142,17 @@ initCli(int argc, char **argv)
             g_cli.progress = false;
         } else if (arg == "--mips") {
             g_cli.mips = true;
+        } else if (arg == "--shard") {
+            try {
+                g_cli.shard = sweep::parseShardSpec(value());
+            } catch (const std::invalid_argument &e) {
+                std::fprintf(stderr, "error: %s\n", e.what());
+                usage(argv[0]);
+            }
+        } else if (arg == "--journal") {
+            g_cli.journalPath = value();
+        } else if (arg == "--resume") {
+            g_cli.resumePaths.push_back(value());
         } else if (arg == "--list") {
             std::printf("%s", describeScenarioSpace().c_str());
             std::exit(0);
@@ -121,6 +160,35 @@ initCli(int argc, char **argv)
             usage(argv[0]);
         }
     }
+
+    // Read every resume journal up front; the journal *writer* (which
+    // truncates its target — the common crash-recovery spelling
+    // re-uses one path: --resume fig.jsonl --journal fig.jsonl) is
+    // only opened by runGrid() once the first grid has validated
+    // against the resumed records, so a mismatched resume cannot
+    // destroy the very journal it came from.
+    g_resume.clear();
+    g_segment_index = 0;
+    g_journal.reset();
+    try {
+        std::vector<std::vector<sweep::JournalSegment>> files;
+        for (const std::string &path : g_cli.resumePaths) {
+            bool truncated = false;
+            files.push_back(sweep::readJournal(path, &truncated));
+            if (truncated)
+                std::fprintf(stderr,
+                             "note: %s has a truncated final record "
+                             "(crash mid-append); it will be "
+                             "re-simulated\n",
+                             path.c_str());
+        }
+        if (!files.empty())
+            g_resume = sweep::mergeSegments(files);
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        std::exit(1);
+    }
+
     if (!g_cli.csvPath.empty() || !g_cli.jsonPath.empty())
         std::atexit(flushSweepDumps);
 }
@@ -142,31 +210,116 @@ suite()
     return name == "full" ? fullSuite() : quickSuite();
 }
 
-sweep::SweepEngine
-engine()
+namespace
+{
+
+sweep::SweepOptions
+engineOptions()
 {
     sweep::SweepOptions opts;
     opts.threads = g_cli.threads;
     if (g_cli.progress) {
-        opts.onProgress = [](std::size_t done, std::size_t total,
-                             const sweep::PointResult &r) {
-            std::fprintf(stderr, "\r[%zu/%zu] %-48.48s", done, total,
-                         r.label.c_str());
+        // One meter per fan-out so the rate/ETA restart with each grid.
+        auto meter = std::make_shared<sweep::ProgressMeter>();
+        opts.onProgress = [meter](std::size_t done, std::size_t total,
+                                  const sweep::PointResult &r) {
+            std::fprintf(stderr, "\r%s",
+                         meter->line(done, total, r.label).c_str());
             if (done == total)
                 std::fprintf(stderr, "\n");
         };
     }
-    return sweep::SweepEngine(opts);
+    return opts;
+}
+
+} // namespace
+
+sweep::SweepEngine
+engine()
+{
+    return sweep::SweepEngine(engineOptions());
+}
+
+bool
+gridComplete()
+{
+    return g_last_grid_complete;
 }
 
 std::vector<sweep::PointResult>
 runGrid(const std::vector<sweep::GridPoint> &grid)
 {
-    auto results = engine().run(grid);
+    sweep::OrchestratedRun orun;
+    if (orchestrated()) {
+        sweep::OrchestrateOptions oopts;
+        oopts.shard = g_cli.shard;
+        // Drivers fan their grids out in a deterministic order, so the
+        // k-th grid of this process matches the k-th segment of any
+        // journal the same driver wrote.
+        if (g_segment_index < g_resume.size()) {
+            try {
+                sweep::validateSegment(g_resume[g_segment_index], grid);
+            } catch (const std::exception &e) {
+                std::fprintf(stderr, "error: %s\n", e.what());
+                // Later segments mismatching (after the writer already
+                // rewrote earlier ones) must not cost the only
+                // complete copy of the resumed records.
+                if (g_journal != nullptr && !g_resume.empty()) {
+                    const std::string orig =
+                        g_cli.journalPath + ".orig";
+                    std::ofstream out(orig, std::ios::binary);
+                    out << sweep::journalText(g_resume);
+                    if (out)
+                        std::fprintf(stderr,
+                                     "note: resumed records saved to "
+                                     "%s\n",
+                                     orig.c_str());
+                }
+                std::exit(1);
+            }
+            oopts.resume = &g_resume[g_segment_index];
+        }
+        ++g_segment_index;
+        // Safe to open (and truncate) the journal only now that the
+        // resume data has proven to match this process's grids.
+        if (g_journal == nullptr && !g_cli.journalPath.empty()) {
+            try {
+                g_journal = std::make_unique<sweep::JournalWriter>(
+                    g_cli.journalPath);
+            } catch (const std::exception &e) {
+                std::fprintf(stderr, "error: %s\n", e.what());
+                std::exit(1);
+            }
+        }
+        oopts.journal = g_journal.get();
+        orun = sweep::runJournaled(engineOptions(), grid, oopts);
+        g_last_grid_complete = orun.complete();
+        if (!g_last_grid_complete) {
+            g_any_grid_incomplete = true;
+            std::fprintf(
+                stderr,
+                "note: shard %d/%d owns %zu of this %zu-point grid "
+                "(%zu missing); figure output below is partial — "
+                "merge the shard journals and re-run with --resume "
+                "for full tables\n",
+                g_cli.shard.index, g_cli.shard.count,
+                orun.simulated + orun.resumed, grid.size(),
+                orun.missing());
+        }
+    } else {
+        orun.results = engine().run(grid);
+        orun.present.assign(orun.results.size(), true);
+        orun.simulated = orun.results.size();
+        g_last_grid_complete = true;
+    }
+    const auto &results = orun.results;
+
     if (g_cli.mips) {
         std::uint64_t instrs = 0;
         double seconds = 0;
         for (const auto &r : results) {
+            if (r.stats.hostPerf.instrs == 0)
+                continue; // not simulated here (other shard)
             std::fprintf(stderr, "mips %-48s %8.2f\n", r.label.c_str(),
                          r.stats.hostPerf.mips());
             instrs += r.stats.hostPerf.instrs;
@@ -183,9 +336,12 @@ runGrid(const std::vector<sweep::GridPoint> &grid)
                          static_cast<unsigned long>(instrs), seconds,
                          static_cast<double>(instrs) / seconds / 1e6);
     }
-    std::lock_guard<std::mutex> g(g_all_results_mutex);
-    g_all_results.insert(g_all_results.end(), results.begin(),
-                         results.end());
+    {
+        std::lock_guard<std::mutex> g(g_all_results_mutex);
+        for (std::size_t i = 0; i < results.size(); ++i)
+            if (orun.present[i])
+                g_all_results.push_back(results[i]);
+    }
     return results;
 }
 

@@ -17,10 +17,22 @@
  *  - HERMES_THREADS: worker threads (default: all hardware threads).
  *
  * CLI flags (initCli; they win over the environment):
- *  --threads N, --suite quick|full, --scale F, --csv FILE,
- *  --json FILE, --progress, --no-progress, --mips, --list (print
- *  available predictors, prefetchers, suites and registry parameters,
- *  then exit).
+ *  --threads N (0 = all hardware threads), --suite quick|full,
+ *  --scale F, --csv FILE, --json FILE, --progress, --no-progress,
+ *  --mips, --list (print available predictors, prefetchers, suites
+ *  and registry parameters, then exit).
+ *
+ * Fleet orchestration (see src/sweep/journal.hh): every grid a driver
+ * fans out is journaled, shardable and resumable with the same flags
+ * hermes_sweep uses —
+ *  --journal FILE  append each completed point as crash-safe JSONL
+ *                  (one journal segment per runGrid/runSuite call);
+ *  --shard i/N     simulate only slice i of each grid's deterministic
+ *                  N-way partition (figure tables are then partial);
+ *  --resume FILE   skip points FILE already records (repeatable;
+ *                  shard journals of the same driver union together,
+ *                  so a complete union reprints full figures without
+ *                  re-simulating anything).
  */
 
 #include <cstdint>
@@ -55,6 +67,12 @@ struct CliOptions
     /** Write every simulated grid point as CSV/JSON on exit. */
     std::string csvPath;
     std::string jsonPath;
+    /** This process's slice of every grid (default: all of it). */
+    sweep::ShardSpec shard;
+    /** Journal completed points here ("" = no journaling). */
+    std::string journalPath;
+    /** Journals whose recorded points are skipped, not re-simulated. */
+    std::vector<std::string> resumePaths;
 };
 
 /**
@@ -76,9 +94,19 @@ sweep::SweepEngine engine();
 /**
  * Run a labelled grid through engine() and record every point for the
  * --csv/--json exit dump. Building block for custom fan-outs.
+ *
+ * Under --journal/--shard/--resume this is the orchestrated path: each
+ * call opens the next journal segment, resumed points are reused, and
+ * only this shard's missing points simulate. Slots not owned by this
+ * process come back with empty stats — gridComplete() says whether the
+ * last grid was fully covered (drivers' derived tables are only
+ * meaningful when it was, and the harness prints a note when not).
  */
 std::vector<sweep::PointResult>
 runGrid(const std::vector<sweep::GridPoint> &grid);
+
+/** True when every point of the last runGrid() call holds real stats. */
+bool gridComplete();
 
 /** Simulation budget honouring HERMES_SIM_SCALE. */
 SimBudget budget(std::uint64_t warmup = 60'000,

@@ -31,6 +31,7 @@
 #include "sim/param_registry.hh"
 #include "sim/report.hh"
 #include "sim/simulator.hh"
+#include "sweep/axis.hh"
 #include "trace/suite.hh"
 
 namespace
@@ -198,23 +199,11 @@ parseCli(int argc, char **argv)
             opt.traceNames.push_back(value());
         } else if (arg == "--mix") {
             const std::string spec = value();
-            std::size_t start = 0;
-            bool bad = spec.empty();
-            while (!bad && start <= spec.size()) {
-                const std::size_t comma = spec.find(',', start);
-                const std::size_t end =
-                    comma == std::string::npos ? spec.size() : comma;
-                if (end == start) {
-                    bad = true; // empty slot would silently vanish
-                    break;
-                }
-                opt.traceNames.push_back(
-                    spec.substr(start, end - start));
-                if (comma == std::string::npos)
-                    break;
-                start = comma + 1;
-            }
-            if (bad) {
+            try {
+                for (std::string &name :
+                     sweep::splitCommaList(spec, "--mix list"))
+                    opt.traceNames.push_back(std::move(name));
+            } catch (const std::invalid_argument &) {
                 std::fprintf(stderr,
                              "error: --mix wants a non-empty "
                              "comma-separated trace list, got '%s'\n",

@@ -161,7 +161,8 @@ aggregateFields(const RunStats &stats, bool with_host_perf)
     return fields;
 }
 
-/** Escape for a double-quoted JSON string. */
+} // namespace
+
 std::string
 jsonEscape(const std::string &s)
 {
@@ -180,7 +181,14 @@ jsonEscape(const std::string &s)
     return out;
 }
 
-} // namespace
+std::string
+fingerprintHex(std::uint64_t fp)
+{
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(fp));
+    return buf;
+}
 
 std::string
 csvHeader(bool with_host_perf)
@@ -222,27 +230,8 @@ formatJsonRow(const std::string &label, const RunStats &stats,
 namespace
 {
 
-/** Incremental FNV-1a over 64-bit words. */
-class Fnv
-{
-  public:
-    void
-    add(std::uint64_t v)
-    {
-        for (int i = 0; i < 8; ++i) {
-            h_ ^= (v >> (8 * i)) & 0xFF;
-            h_ *= 0x100000001B3ull;
-        }
-    }
-
-    std::uint64_t value() const { return h_; }
-
-  private:
-    std::uint64_t h_ = 0xCBF29CE484222325ull;
-};
-
 void
-addCacheStats(Fnv &h, const CacheStats &c)
+addCacheStats(Fnv64 &h, const CacheStats &c)
 {
     h.add(c.loadLookups);
     h.add(c.loadHits);
@@ -269,7 +258,7 @@ addCacheStats(Fnv &h, const CacheStats &c)
 std::uint64_t
 statsFingerprint(const RunStats &stats)
 {
-    Fnv h;
+    Fnv64 h;
     h.add(stats.simCycles);
     h.add(stats.core.size());
     for (const CoreStats &c : stats.core) {

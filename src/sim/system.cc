@@ -36,7 +36,12 @@ RunStats::instrsRetired() const
 double
 RunStats::ipc(int core_id) const
 {
-    const auto &c = core.at(core_id);
+    // 0 for a core this RunStats has no data for: empty results (e.g.
+    // grid points another shard owns) read as "no data", which the
+    // harness speedup helpers already filter, instead of throwing.
+    if (core_id < 0 || static_cast<std::size_t>(core_id) >= core.size())
+        return 0.0;
+    const auto &c = core[core_id];
     const std::uint64_t cycles =
         core_id < static_cast<int>(coreFinishCycle.size()) &&
                 coreFinishCycle[core_id] > 0

@@ -115,7 +115,8 @@ struct RunStats
 
     /** Instructions retired across all cores (measurement window). */
     std::uint64_t instrsRetired() const;
-    /** Per-core IPC over the measurement window. */
+    /** Per-core IPC over the measurement window (0 if no such core,
+     * so empty shard placeholders read as "no data"). */
     double ipc(int core_id) const;
     /** LLC demand misses per kilo instruction. */
     double llcMpki() const;

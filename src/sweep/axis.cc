@@ -7,6 +7,32 @@
 namespace hermes::sweep
 {
 
+std::vector<std::string>
+splitCommaList(const std::string &spec, const std::string &what)
+{
+    std::vector<std::string> out;
+    if (spec.empty())
+        throw std::invalid_argument(what + " '" + spec +
+                                    "' has no entries");
+    std::size_t start = 0;
+    while (start <= spec.size()) {
+        const std::size_t comma = spec.find(',', start);
+        const std::size_t end =
+            comma == std::string::npos ? spec.size() : comma;
+        if (end == start)
+            throw std::invalid_argument(what + " '" + spec +
+                                        "' has an empty entry");
+        out.push_back(spec.substr(start, end - start));
+        if (comma == std::string::npos)
+            break;
+        start = comma + 1;
+    }
+    if (out.empty())
+        throw std::invalid_argument(what + " '" + spec +
+                                    "' has no entries");
+    return out;
+}
+
 Axis
 parseAxis(const std::string &spec)
 {
@@ -18,22 +44,7 @@ parseAxis(const std::string &spec)
     Axis axis;
     axis.key = spec.substr(0, eq);
     ParamRegistry::instance().findOrThrow(axis.key);
-    std::size_t start = eq + 1;
-    while (start <= spec.size()) {
-        const std::size_t comma = spec.find(',', start);
-        const std::size_t end =
-            comma == std::string::npos ? spec.size() : comma;
-        if (end == start)
-            throw std::invalid_argument("axis spec '" + spec +
-                                        "' has an empty value");
-        axis.values.push_back(spec.substr(start, end - start));
-        if (comma == std::string::npos)
-            break;
-        start = comma + 1;
-    }
-    if (axis.values.empty())
-        throw std::invalid_argument("axis spec '" + spec +
-                                    "' has no values");
+    axis.values = splitCommaList(spec.substr(eq + 1), "axis spec");
     return axis;
 }
 

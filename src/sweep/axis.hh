@@ -32,6 +32,14 @@ struct Axis
  */
 Axis parseAxis(const std::string &spec);
 
+/**
+ * Split a comma-separated list into its entries. Empty entries — and
+ * an empty @p spec — are rejected with std::invalid_argument naming
+ * @p what. Shared by axis values, --mix trace lists and friends.
+ */
+std::vector<std::string> splitCommaList(const std::string &spec,
+                                        const std::string &what);
+
 /** A labelled configuration produced by axis expansion. */
 struct ConfigPoint
 {

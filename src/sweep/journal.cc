@@ -1,0 +1,1000 @@
+#include "sweep/journal.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <initializer_list>
+#include <iterator>
+#include <sstream>
+#include <stdexcept>
+#include <unistd.h>
+
+#include "common/config.hh"
+#include "sim/report.hh"
+
+namespace hermes::sweep
+{
+
+namespace
+{
+
+// The stats serializer below writes every field of these structs as a
+// positional array. If you add a field, update encodeStats(),
+// decodeStats() AND statsFingerprint() together — the loader's
+// fingerprint re-check turns any drift into a load error, and these
+// asserts catch the struct growing before the arrays do. (All-u64
+// structs have no padding, so sizeof is an exact field count.)
+static_assert(sizeof(CoreStats) == 14 * sizeof(std::uint64_t),
+              "CoreStats changed: update the journal codec");
+static_assert(sizeof(CacheStats) == 18 * sizeof(std::uint64_t),
+              "CacheStats changed: update the journal codec");
+static_assert(sizeof(DramStats) == 14 * sizeof(std::uint64_t),
+              "DramStats changed: update the journal codec");
+static_assert(sizeof(PredictorStats) == 4 * sizeof(std::uint64_t),
+              "PredictorStats changed: update the journal codec");
+static_assert(sizeof(BranchStats) == 2 * sizeof(std::uint64_t),
+              "BranchStats changed: update the journal codec");
+static_assert(sizeof(PrefetcherStats) == 3 * sizeof(std::uint64_t),
+              "PrefetcherStats changed: update the journal codec");
+static_assert(sizeof(HostPerf) == sizeof(double) + sizeof(std::uint64_t),
+              "HostPerf changed: update the journal codec");
+
+std::string
+formatDouble(double v)
+{
+    // max_digits10: the decimal round trip is exact for IEEE doubles.
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+// --- encoding ---------------------------------------------------------
+
+void
+appendArray(std::string &out, const char *key,
+            std::initializer_list<std::uint64_t> vs)
+{
+    out += '"';
+    out += key;
+    out += "\":[";
+    bool first = true;
+    for (std::uint64_t v : vs) {
+        if (!first)
+            out += ',';
+        first = false;
+        out += std::to_string(v);
+    }
+    out += ']';
+}
+
+void
+appendCore(std::string &out, const CoreStats &c)
+{
+    out += '[';
+    const std::uint64_t vs[] = {
+        c.cycles, c.instrsRetired, c.loadsRetired, c.storesRetired,
+        c.branchesRetired, c.branchMispredicts, c.loadsOffChip,
+        c.offChipBlocking, c.offChipNonBlocking, c.loadsServedByHermes,
+        c.stallCyclesOffChip, c.stallCyclesOtherLoad,
+        c.stallCyclesOther, c.stallCyclesEliminable};
+    for (std::size_t i = 0; i < std::size(vs); ++i)
+        out += (i ? "," : "") + std::to_string(vs[i]);
+    out += ']';
+}
+
+void
+appendCache(std::string &out, const char *key, const CacheStats &c)
+{
+    appendArray(out, key,
+                {c.loadLookups, c.loadHits, c.rfoLookups, c.rfoHits,
+                 c.writebackLookups, c.writebackHits, c.prefetchLookups,
+                 c.prefetchDropped, c.prefetchIssued, c.mshrMerges,
+                 c.mshrLatePrefetchHits, c.fills, c.prefetchFills,
+                 c.evictions, c.dirtyEvictions, c.usefulPrefetches,
+                 c.uselessPrefetches, c.rqRejects});
+}
+
+std::string
+encodeStats(const RunStats &s)
+{
+    std::string out = "{\"cycles\":" + std::to_string(s.simCycles);
+    out += ",\"core\":[";
+    for (std::size_t i = 0; i < s.core.size(); ++i) {
+        if (i)
+            out += ',';
+        appendCore(out, s.core[i]);
+    }
+    out += "],\"branch\":[";
+    for (std::size_t i = 0; i < s.branch.size(); ++i) {
+        out += i ? "," : "";
+        out += '[' + std::to_string(s.branch[i].lookups) + ',' +
+               std::to_string(s.branch[i].mispredicts) + ']';
+    }
+    out += "],\"pred\":[";
+    for (std::size_t i = 0; i < s.predictor.size(); ++i) {
+        const PredictorStats &p = s.predictor[i];
+        out += i ? "," : "";
+        out += '[' + std::to_string(p.truePositives) + ',' +
+               std::to_string(p.falsePositives) + ',' +
+               std::to_string(p.falseNegatives) + ',' +
+               std::to_string(p.trueNegatives) + ']';
+    }
+    out += "],\"finish\":[";
+    for (std::size_t i = 0; i < s.coreFinishCycle.size(); ++i) {
+        out += i ? "," : "";
+        out += std::to_string(s.coreFinishCycle[i]);
+    }
+    out += "],";
+    appendCache(out, "l1", s.l1);
+    out += ',';
+    appendCache(out, "l2", s.l2);
+    out += ',';
+    appendCache(out, "llc", s.llc);
+    out += ',';
+    const DramStats &d = s.dram;
+    appendArray(out, "dram",
+                {d.demandReads, d.prefetchReads, d.hermesReads, d.writes,
+                 d.rowHits, d.rowMisses, d.rowConflicts, d.readMerges,
+                 d.wqForwards, d.hermesIssued, d.hermesMergedIntoExisting,
+                 d.hermesDropped, d.hermesUseful, d.hermesRejected});
+    out += ',';
+    appendArray(out, "pf",
+                {s.prefetch.issued, s.prefetch.useful,
+                 s.prefetch.useless});
+    out += ",\"hsched\":" + std::to_string(s.hermesRequestsScheduled);
+    out += ",\"hserved\":" + std::to_string(s.hermesLoadsServed);
+    out += '}';
+    return out;
+}
+
+std::string
+encodeHeader(std::uint64_t space_fp, std::size_t points)
+{
+    return "{\"hermes_journal\":1,\"space\":\"" +
+           fingerprintHex(space_fp) +
+           "\",\"points\":" + std::to_string(points) + "}";
+}
+
+std::string
+encodeRecord(const JournalRecord &rec)
+{
+    const PointResult &r = rec.result;
+    std::string out = "{\"i\":" + std::to_string(rec.index);
+    out += ",\"label\":\"" + jsonEscape(r.label) + "\"";
+    out += ",\"point\":\"" + fingerprintHex(rec.pointFp) + "\"";
+    out += ",\"fp\":\"" + fingerprintHex(statsFingerprint(r.stats)) +
+           "\"";
+    out += ",\"wall\":" + formatDouble(r.wallSeconds);
+    out += ",\"host\":[" + formatDouble(r.stats.hostPerf.seconds) + "," +
+           std::to_string(r.stats.hostPerf.instrs) + "]";
+    out += ",\"stats\":" + encodeStats(r.stats);
+    out += '}';
+    return out;
+}
+
+// --- a minimal JSON parser (only what the journal itself emits) ------
+
+struct Jv
+{
+    enum class Kind : std::uint8_t
+    {
+        Null,
+        Bool,
+        Num,
+        Str,
+        Arr,
+        Obj
+    };
+    Kind kind = Kind::Null;
+    bool boolean = false;
+    std::string scalar; ///< Number text (exact) or decoded string.
+    std::vector<Jv> items;
+    std::vector<std::pair<std::string, Jv>> fields;
+
+    const Jv *
+    find(const char *key) const
+    {
+        for (const auto &[k, v] : fields)
+            if (k == key)
+                return &v;
+        return nullptr;
+    }
+};
+
+[[noreturn]] void
+fail(const std::string &what)
+{
+    throw std::runtime_error("journal: " + what);
+}
+
+class JsonParser
+{
+  public:
+    explicit JsonParser(const std::string &text) : s_(text) {}
+
+    Jv
+    parse()
+    {
+        Jv v = value();
+        skipWs();
+        if (pos_ != s_.size())
+            fail("trailing characters after JSON value");
+        return v;
+    }
+
+  private:
+    void
+    skipWs()
+    {
+        while (pos_ < s_.size() &&
+               (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\r'))
+            ++pos_;
+    }
+
+    char
+    peek()
+    {
+        if (pos_ >= s_.size())
+            fail("unexpected end of line");
+        return s_[pos_];
+    }
+
+    void
+    expect(char c)
+    {
+        if (pos_ >= s_.size() || s_[pos_] != c)
+            fail(std::string("expected '") + c + "'");
+        ++pos_;
+    }
+
+    Jv
+    value()
+    {
+        skipWs();
+        const char c = peek();
+        if (c == '{')
+            return object();
+        if (c == '[')
+            return array();
+        if (c == '"')
+            return string();
+        if (c == 't' || c == 'f')
+            return boolean();
+        if (c == 'n') {
+            literal("null");
+            return Jv{};
+        }
+        return number();
+    }
+
+    Jv
+    object()
+    {
+        Jv v;
+        v.kind = Jv::Kind::Obj;
+        expect('{');
+        skipWs();
+        if (peek() == '}') {
+            ++pos_;
+            return v;
+        }
+        for (;;) {
+            skipWs();
+            Jv key = string();
+            skipWs();
+            expect(':');
+            v.fields.emplace_back(std::move(key.scalar), value());
+            skipWs();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            expect('}');
+            return v;
+        }
+    }
+
+    Jv
+    array()
+    {
+        Jv v;
+        v.kind = Jv::Kind::Arr;
+        expect('[');
+        skipWs();
+        if (peek() == ']') {
+            ++pos_;
+            return v;
+        }
+        for (;;) {
+            v.items.push_back(value());
+            skipWs();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            expect(']');
+            return v;
+        }
+    }
+
+    Jv
+    string()
+    {
+        Jv v;
+        v.kind = Jv::Kind::Str;
+        expect('"');
+        for (;;) {
+            if (pos_ >= s_.size())
+                fail("unterminated string");
+            char c = s_[pos_++];
+            if (c == '"')
+                return v;
+            if (c != '\\') {
+                v.scalar += c;
+                continue;
+            }
+            if (pos_ >= s_.size())
+                fail("unterminated escape");
+            const char e = s_[pos_++];
+            switch (e) {
+            case '"':
+                v.scalar += '"';
+                break;
+            case '\\':
+                v.scalar += '\\';
+                break;
+            case '/':
+                v.scalar += '/';
+                break;
+            case 'n':
+                v.scalar += '\n';
+                break;
+            case 't':
+                v.scalar += '\t';
+                break;
+            case 'r':
+                v.scalar += '\r';
+                break;
+            case 'b':
+                v.scalar += '\b';
+                break;
+            case 'f':
+                v.scalar += '\f';
+                break;
+            case 'u': {
+                if (pos_ + 4 > s_.size())
+                    fail("bad \\u escape");
+                const std::string hex = s_.substr(pos_, 4);
+                pos_ += 4;
+                char *end = nullptr;
+                const unsigned long cp =
+                    std::strtoul(hex.c_str(), &end, 16);
+                if (end != hex.c_str() + 4 || cp > 0xFF)
+                    fail("unsupported \\u escape '" + hex + "'");
+                v.scalar += static_cast<char>(cp);
+                break;
+            }
+            default:
+                fail("unknown escape");
+            }
+        }
+    }
+
+    Jv
+    boolean()
+    {
+        Jv v;
+        v.kind = Jv::Kind::Bool;
+        if (s_.compare(pos_, 4, "true") == 0) {
+            v.boolean = true;
+            pos_ += 4;
+        } else if (s_.compare(pos_, 5, "false") == 0) {
+            pos_ += 5;
+        } else {
+            fail("bad literal");
+        }
+        return v;
+    }
+
+    void
+    literal(const char *word)
+    {
+        const std::size_t n = std::strlen(word);
+        if (s_.compare(pos_, n, word) != 0)
+            fail("bad literal");
+        pos_ += n;
+    }
+
+    Jv
+    number()
+    {
+        Jv v;
+        v.kind = Jv::Kind::Num;
+        const std::size_t start = pos_;
+        while (pos_ < s_.size() &&
+               (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+                s_[pos_] == '-' || s_[pos_] == '+' || s_[pos_] == '.' ||
+                s_[pos_] == 'e' || s_[pos_] == 'E'))
+            ++pos_;
+        if (pos_ == start)
+            fail("expected a number");
+        v.scalar = s_.substr(start, pos_ - start);
+        return v;
+    }
+
+    const std::string &s_;
+    std::size_t pos_ = 0;
+};
+
+std::uint64_t
+asU64(const Jv &v)
+{
+    if (v.kind != Jv::Kind::Num)
+        fail("expected an integer");
+    const auto parsed = parseUint64(v.scalar);
+    if (!parsed)
+        fail("bad integer '" + v.scalar + "'");
+    return *parsed;
+}
+
+double
+asDouble(const Jv &v)
+{
+    if (v.kind != Jv::Kind::Num)
+        fail("expected a number");
+    const auto parsed = parseFiniteDouble(v.scalar);
+    if (!parsed)
+        fail("bad number '" + v.scalar + "'");
+    return *parsed;
+}
+
+const Jv &
+member(const Jv &obj, const char *key)
+{
+    if (obj.kind != Jv::Kind::Obj)
+        fail("expected an object");
+    const Jv *v = obj.find(key);
+    if (v == nullptr)
+        fail(std::string("missing key '") + key + "'");
+    return *v;
+}
+
+std::uint64_t
+asHexFp(const Jv &v)
+{
+    if (v.kind != Jv::Kind::Str || v.scalar.size() != 16)
+        fail("expected a 16-hex-digit fingerprint");
+    char *end = nullptr;
+    errno = 0;
+    const unsigned long long parsed =
+        std::strtoull(v.scalar.c_str(), &end, 16);
+    if (errno != 0 || end != v.scalar.c_str() + 16)
+        fail("bad fingerprint '" + v.scalar + "'");
+    return parsed;
+}
+
+/** The array-of-u64 decode used by every stats sub-struct. */
+void
+fill(const Jv &arr, std::uint64_t *out, std::size_t n, const char *what)
+{
+    if (arr.kind != Jv::Kind::Arr || arr.items.size() != n)
+        fail(std::string("bad ") + what + " array");
+    for (std::size_t i = 0; i < n; ++i)
+        out[i] = asU64(arr.items[i]);
+}
+
+CacheStats
+decodeCache(const Jv &arr)
+{
+    std::uint64_t v[18];
+    fill(arr, v, 18, "cache");
+    CacheStats c;
+    c.loadLookups = v[0];
+    c.loadHits = v[1];
+    c.rfoLookups = v[2];
+    c.rfoHits = v[3];
+    c.writebackLookups = v[4];
+    c.writebackHits = v[5];
+    c.prefetchLookups = v[6];
+    c.prefetchDropped = v[7];
+    c.prefetchIssued = v[8];
+    c.mshrMerges = v[9];
+    c.mshrLatePrefetchHits = v[10];
+    c.fills = v[11];
+    c.prefetchFills = v[12];
+    c.evictions = v[13];
+    c.dirtyEvictions = v[14];
+    c.usefulPrefetches = v[15];
+    c.uselessPrefetches = v[16];
+    c.rqRejects = v[17];
+    return c;
+}
+
+RunStats
+decodeStats(const Jv &obj)
+{
+    RunStats s;
+    s.simCycles = asU64(member(obj, "cycles"));
+
+    const Jv &cores = member(obj, "core");
+    if (cores.kind != Jv::Kind::Arr)
+        fail("bad core array");
+    for (const Jv &e : cores.items) {
+        std::uint64_t v[14];
+        fill(e, v, 14, "core");
+        CoreStats c;
+        c.cycles = v[0];
+        c.instrsRetired = v[1];
+        c.loadsRetired = v[2];
+        c.storesRetired = v[3];
+        c.branchesRetired = v[4];
+        c.branchMispredicts = v[5];
+        c.loadsOffChip = v[6];
+        c.offChipBlocking = v[7];
+        c.offChipNonBlocking = v[8];
+        c.loadsServedByHermes = v[9];
+        c.stallCyclesOffChip = v[10];
+        c.stallCyclesOtherLoad = v[11];
+        c.stallCyclesOther = v[12];
+        c.stallCyclesEliminable = v[13];
+        s.core.push_back(c);
+    }
+
+    const Jv &branches = member(obj, "branch");
+    if (branches.kind != Jv::Kind::Arr)
+        fail("bad branch array");
+    for (const Jv &e : branches.items) {
+        std::uint64_t v[2];
+        fill(e, v, 2, "branch");
+        BranchStats b;
+        b.lookups = v[0];
+        b.mispredicts = v[1];
+        s.branch.push_back(b);
+    }
+
+    const Jv &preds = member(obj, "pred");
+    if (preds.kind != Jv::Kind::Arr)
+        fail("bad pred array");
+    for (const Jv &e : preds.items) {
+        std::uint64_t v[4];
+        fill(e, v, 4, "pred");
+        PredictorStats p;
+        p.truePositives = v[0];
+        p.falsePositives = v[1];
+        p.falseNegatives = v[2];
+        p.trueNegatives = v[3];
+        s.predictor.push_back(p);
+    }
+
+    const Jv &finish = member(obj, "finish");
+    if (finish.kind != Jv::Kind::Arr)
+        fail("bad finish array");
+    for (const Jv &e : finish.items)
+        s.coreFinishCycle.push_back(asU64(e));
+
+    s.l1 = decodeCache(member(obj, "l1"));
+    s.l2 = decodeCache(member(obj, "l2"));
+    s.llc = decodeCache(member(obj, "llc"));
+
+    std::uint64_t d[14];
+    fill(member(obj, "dram"), d, 14, "dram");
+    s.dram.demandReads = d[0];
+    s.dram.prefetchReads = d[1];
+    s.dram.hermesReads = d[2];
+    s.dram.writes = d[3];
+    s.dram.rowHits = d[4];
+    s.dram.rowMisses = d[5];
+    s.dram.rowConflicts = d[6];
+    s.dram.readMerges = d[7];
+    s.dram.wqForwards = d[8];
+    s.dram.hermesIssued = d[9];
+    s.dram.hermesMergedIntoExisting = d[10];
+    s.dram.hermesDropped = d[11];
+    s.dram.hermesUseful = d[12];
+    s.dram.hermesRejected = d[13];
+
+    std::uint64_t pf[3];
+    fill(member(obj, "pf"), pf, 3, "pf");
+    s.prefetch.issued = pf[0];
+    s.prefetch.useful = pf[1];
+    s.prefetch.useless = pf[2];
+
+    s.hermesRequestsScheduled = asU64(member(obj, "hsched"));
+    s.hermesLoadsServed = asU64(member(obj, "hserved"));
+    return s;
+}
+
+JournalRecord
+decodeRecord(const Jv &obj)
+{
+    JournalRecord rec;
+    rec.index = asU64(member(obj, "i"));
+    rec.pointFp = asHexFp(member(obj, "point"));
+
+    PointResult &r = rec.result;
+    const Jv &label = member(obj, "label");
+    if (label.kind != Jv::Kind::Str)
+        fail("bad label");
+    r.index = rec.index;
+    r.label = label.scalar;
+    r.wallSeconds = asDouble(member(obj, "wall"));
+
+    const Jv &host = member(obj, "host");
+    if (host.kind != Jv::Kind::Arr || host.items.size() != 2)
+        fail("bad host array");
+
+    r.stats = decodeStats(member(obj, "stats"));
+    r.stats.hostPerf.seconds = asDouble(host.items[0]);
+    r.stats.hostPerf.instrs = asU64(host.items[1]);
+
+    // The recorded fingerprint must match the decoded stats: this
+    // catches flipped bytes in the file and any codec drift.
+    const std::uint64_t recorded = asHexFp(member(obj, "fp"));
+    if (statsFingerprint(r.stats) != recorded)
+        fail("record fingerprint mismatch (corrupt record for grid "
+             "index " +
+             std::to_string(rec.index) + ")");
+    return rec;
+}
+
+} // namespace
+
+std::uint64_t
+pointFingerprint(const GridPoint &point)
+{
+    Fnv64 h;
+    h.add(point.label);
+    const Config cfg = point.config.toConfig();
+    for (const std::string &key : cfg.keys()) {
+        h.add(key);
+        h.add(cfg.getString(key).value_or(""));
+    }
+    h.add(static_cast<std::uint64_t>(point.traces.size()));
+    for (const TraceSpec &t : point.traces)
+        h.add(t.name());
+    h.add(point.budget.warmupInstrs);
+    h.add(point.budget.simInstrs);
+    return h.value();
+}
+
+std::uint64_t
+spaceFingerprint(const std::vector<GridPoint> &grid)
+{
+    Fnv64 h;
+    h.add(static_cast<std::uint64_t>(grid.size()));
+    for (const GridPoint &p : grid)
+        h.add(pointFingerprint(p));
+    return h.value();
+}
+
+std::vector<JournalSegment>
+readJournal(const std::string &path, bool *truncated_tail)
+{
+    if (truncated_tail != nullptr)
+        *truncated_tail = false;
+
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        throw std::runtime_error("journal: cannot read " + path);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const std::string text = buf.str();
+
+    std::vector<JournalSegment> segments;
+    std::size_t pos = 0;
+    std::size_t line_no = 0;
+    while (pos < text.size()) {
+        const std::size_t nl = text.find('\n', pos);
+        const bool has_newline = nl != std::string::npos;
+        const std::string line =
+            text.substr(pos, has_newline ? nl - pos : std::string::npos);
+        pos = has_newline ? nl + 1 : text.size();
+        ++line_no;
+        if (line.empty())
+            continue;
+        // The last line is the only one a crash can leave half-written
+        // (records are appended as one line + flush), so only there is
+        // a defect tolerated — as a truncated tail, dropped with a
+        // flag. Anywhere else it is corruption and a hard error.
+        const bool is_last = pos >= text.size();
+        try {
+            const Jv obj = JsonParser(line).parse();
+            if (obj.kind != Jv::Kind::Obj)
+                fail("expected a JSON object per line");
+            if (obj.find("hermes_journal") != nullptr) {
+                const std::uint64_t version =
+                    asU64(member(obj, "hermes_journal"));
+                if (version != 1)
+                    throw std::runtime_error(
+                        "journal: unsupported journal version " +
+                        std::to_string(version) + " in " + path);
+                JournalSegment seg;
+                seg.spaceFp = asHexFp(member(obj, "space"));
+                seg.points = asU64(member(obj, "points"));
+                segments.push_back(std::move(seg));
+                continue;
+            }
+            if (segments.empty())
+                fail("record before any journal header");
+            JournalRecord rec = decodeRecord(obj);
+            if (rec.index >= segments.back().points)
+                fail("record index " + std::to_string(rec.index) +
+                     " out of range for a " +
+                     std::to_string(segments.back().points) +
+                     "-point grid");
+            segments.back().records.push_back(std::move(rec));
+        } catch (const std::runtime_error &e) {
+            // Version/semantic errors on the last line are still
+            // tolerated as a torn tail; a malformed *earlier* line can
+            // only be corruption.
+            if (is_last) {
+                if (truncated_tail != nullptr)
+                    *truncated_tail = true;
+                break;
+            }
+            throw std::runtime_error(
+                std::string(e.what()) + " (" + path + " line " +
+                std::to_string(line_no) + ")");
+        }
+    }
+    if (segments.empty())
+        throw std::runtime_error(
+            "journal: " + path +
+            " contains no complete journal header");
+    return segments;
+}
+
+void
+validateSegment(const JournalSegment &seg,
+                const std::vector<GridPoint> &grid)
+{
+    const std::uint64_t space = spaceFingerprint(grid);
+    if (seg.spaceFp != space || seg.points != grid.size())
+        throw std::runtime_error(
+            "journal: recorded for a different scenario space (journal "
+            "space " +
+            fingerprintHex(seg.spaceFp) + " over " +
+            std::to_string(seg.points) + " points, current space " +
+            fingerprintHex(space) + " over " +
+            std::to_string(grid.size()) +
+            " points); re-run without --resume or regenerate the "
+            "journal");
+    std::vector<std::uint64_t> point_fps(grid.size());
+    for (std::size_t i = 0; i < grid.size(); ++i)
+        point_fps[i] = pointFingerprint(grid[i]);
+    for (const JournalRecord &rec : seg.records) {
+        if (rec.index >= grid.size() ||
+            rec.pointFp != point_fps[rec.index] ||
+            rec.result.label != grid[rec.index].label)
+            throw std::runtime_error(
+                "journal: record '" + rec.result.label +
+                "' (grid index " + std::to_string(rec.index) +
+                ") does not match the current grid point; re-run "
+                "without --resume or regenerate the journal");
+    }
+}
+
+std::vector<JournalSegment>
+mergeSegments(const std::vector<std::vector<JournalSegment>> &files)
+{
+    std::size_t count = 0;
+    for (const auto &f : files)
+        count = std::max(count, f.size());
+
+    std::vector<JournalSegment> out;
+    for (std::size_t k = 0; k < count; ++k) {
+        JournalSegment merged;
+        bool started = false;
+        for (const auto &f : files) {
+            if (k >= f.size())
+                continue;
+            const JournalSegment &seg = f[k];
+            if (!started) {
+                merged.spaceFp = seg.spaceFp;
+                merged.points = seg.points;
+                started = true;
+            } else if (merged.spaceFp != seg.spaceFp ||
+                       merged.points != seg.points) {
+                throw std::runtime_error(
+                    "journal: cannot merge journals of different "
+                    "scenario spaces (segment " +
+                    std::to_string(k) + ": space " +
+                    fingerprintHex(merged.spaceFp) + " vs " +
+                    fingerprintHex(seg.spaceFp) + ")");
+            }
+            for (const JournalRecord &rec : seg.records)
+                merged.records.push_back(rec);
+        }
+        // Dedup by grid index; duplicates must agree (same simulation,
+        // deterministic) or one of the journals is lying.
+        std::stable_sort(merged.records.begin(), merged.records.end(),
+                         [](const JournalRecord &a,
+                            const JournalRecord &b) {
+                             return a.index < b.index;
+                         });
+        std::vector<JournalRecord> dedup;
+        for (JournalRecord &rec : merged.records) {
+            if (!dedup.empty() && dedup.back().index == rec.index) {
+                if (statsFingerprint(dedup.back().result.stats) !=
+                    statsFingerprint(rec.result.stats))
+                    throw std::runtime_error(
+                        "journal: conflicting records for grid index " +
+                        std::to_string(rec.index) +
+                        " ('" + rec.result.label +
+                        "'): the merged journals disagree");
+                continue;
+            }
+            dedup.push_back(std::move(rec));
+        }
+        merged.records = std::move(dedup);
+        out.push_back(std::move(merged));
+    }
+    return out;
+}
+
+std::string
+journalText(const std::vector<JournalSegment> &segments)
+{
+    std::string out;
+    for (const JournalSegment &seg : segments) {
+        out += encodeHeader(seg.spaceFp, seg.points) + "\n";
+        for (const JournalRecord &rec : seg.records)
+            out += encodeRecord(rec) + "\n";
+    }
+    return out;
+}
+
+JournalWriter::JournalWriter(const std::string &path) : path_(path)
+{
+    // Never truncate in place: a kill between the truncate and the
+    // re-recording of resumed points would destroy the only durable
+    // copy. The atomic rename keeps the old journal recoverable at
+    // <path>.bak until a newer rewrite replaces it.
+    std::ifstream exists(path);
+    if (exists.good()) {
+        exists.close();
+        const std::string bak = path + ".bak";
+        if (std::rename(path.c_str(), bak.c_str()) != 0)
+            throw std::runtime_error("journal: cannot back up " + path +
+                                     " to " + bak + ": " +
+                                     std::strerror(errno));
+    }
+    file_ = std::fopen(path.c_str(), "wb");
+    if (file_ == nullptr)
+        throw std::runtime_error("journal: cannot write " + path + ": " +
+                                 std::strerror(errno));
+}
+
+JournalWriter::~JournalWriter()
+{
+    if (file_ != nullptr)
+        std::fclose(file_);
+}
+
+void
+JournalWriter::beginGrid(const std::vector<GridPoint> &grid)
+{
+    std::lock_guard<std::mutex> g(mutex_);
+    grid_ = &grid;
+    const std::string line =
+        encodeHeader(spaceFingerprint(grid), grid.size()) + "\n";
+    if (std::fwrite(line.data(), 1, line.size(), file_) != line.size() ||
+        std::fflush(file_) != 0)
+        throw std::runtime_error("journal: write failed on " + path_);
+}
+
+void
+JournalWriter::append(const PointResult &r)
+{
+    if (!r.ok)
+        return;
+    std::lock_guard<std::mutex> g(mutex_);
+    if (grid_ == nullptr || r.index >= grid_->size())
+        throw std::logic_error(
+            "journal: append without a matching beginGrid");
+    JournalRecord rec;
+    rec.index = r.index;
+    rec.pointFp = pointFingerprint((*grid_)[r.index]);
+    rec.result = r;
+    const std::string line = encodeRecord(rec) + "\n";
+    // One complete line per write, flushed (and fsynced) before the
+    // point is considered recorded: a crash can only cost the line in
+    // flight, which the loader drops as a truncated tail.
+    if (std::fwrite(line.data(), 1, line.size(), file_) != line.size() ||
+        std::fflush(file_) != 0)
+        throw std::runtime_error("journal: write failed on " + path_);
+    static_cast<void>(fsync(fileno(file_)));
+}
+
+bool
+OrchestratedRun::complete() const
+{
+    for (bool p : present)
+        if (!p)
+            return false;
+    return true;
+}
+
+std::size_t
+OrchestratedRun::missing() const
+{
+    std::size_t n = 0;
+    for (bool p : present)
+        n += p ? 0 : 1;
+    return n;
+}
+
+OrchestratedRun
+runJournaled(const SweepOptions &engine_opts,
+             const std::vector<GridPoint> &grid,
+             const OrchestrateOptions &opts)
+{
+    const std::size_t n = grid.size();
+    OrchestratedRun out;
+    out.results.resize(n);
+    out.present.assign(n, false);
+    for (std::size_t i = 0; i < n; ++i) {
+        out.results[i].index = i;
+        out.results[i].label = grid[i].label;
+    }
+
+    if (opts.journal != nullptr)
+        opts.journal->beginGrid(grid);
+
+    std::vector<bool> skip(n, false);
+    if (opts.resume != nullptr) {
+        for (const JournalRecord &rec : opts.resume->records) {
+            if (rec.index >= n || out.present[rec.index])
+                continue;
+            out.results[rec.index] = rec.result;
+            out.present[rec.index] = true;
+            skip[rec.index] = true;
+            ++out.resumed;
+            // Re-record resumed points up front: the rewritten journal
+            // is complete-so-far before any new simulation starts.
+            if (opts.journal != nullptr)
+                opts.journal->append(rec.result);
+        }
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+        if (skip[i])
+            continue;
+        if (!SweepEngine::inShard(i, opts.shard)) {
+            skip[i] = true;
+            ++out.otherShard;
+        }
+    }
+
+    SweepOptions eopts = engine_opts;
+    if (opts.journal != nullptr) {
+        JournalWriter *writer = opts.journal;
+        ProgressFn user = engine_opts.onProgress;
+        // The engine invokes progress under one lock as each point
+        // finishes; journaling there makes completion and persistence
+        // a single step.
+        eopts.onProgress = [writer, user](std::size_t done,
+                                          std::size_t total,
+                                          const PointResult &r) {
+            writer->append(r);
+            if (user)
+                user(done, total, r);
+        };
+    }
+
+    const auto run = SweepEngine(eopts).run(grid, skip);
+    for (std::size_t i = 0; i < n; ++i) {
+        if (skip[i])
+            continue;
+        out.results[i] = run[i];
+        if (run[i].ok) {
+            out.present[i] = true;
+            ++out.simulated;
+        }
+    }
+    return out;
+}
+
+} // namespace hermes::sweep

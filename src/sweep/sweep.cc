@@ -1,11 +1,15 @@
 #include "sweep/sweep.hh"
 
+#include <atomic>
 #include <chrono>
+#include <cstdio>
 #include <deque>
 #include <exception>
 #include <mutex>
+#include <stdexcept>
 #include <thread>
 
+#include "common/config.hh"
 #include "sim/report.hh"
 
 namespace hermes::sweep
@@ -71,7 +75,39 @@ simulatePoint(const GridPoint &point, std::uint64_t seed,
 
 } // namespace
 
+ShardSpec
+parseShardSpec(const std::string &spec)
+{
+    const auto slash = spec.find('/');
+    if (slash == std::string::npos || slash == 0 ||
+        slash + 1 >= spec.size())
+        throw std::invalid_argument(
+            "shard spec must look like i/N (e.g. 2/4); got '" + spec +
+            "'");
+    const auto idx = parseInt64(spec.substr(0, slash));
+    const auto count = parseInt64(spec.substr(slash + 1));
+    if (!idx || !count)
+        throw std::invalid_argument(
+            "shard spec must be two integers i/N; got '" + spec + "'");
+    if (*count < 1)
+        throw std::invalid_argument(
+            "shard count must be at least 1; got '" + spec + "'");
+    if (*idx < 1 || *idx > *count)
+        throw std::invalid_argument(
+            "shard index must be in 1..N; got '" + spec + "'");
+    return ShardSpec{static_cast<int>(*idx), static_cast<int>(*count)};
+}
+
 SweepEngine::SweepEngine(SweepOptions opts) : opts_(std::move(opts)) {}
+
+bool
+SweepEngine::inShard(std::size_t index, const ShardSpec &shard)
+{
+    if (shard.count <= 1)
+        return true;
+    return index % static_cast<std::size_t>(shard.count) ==
+           static_cast<std::size_t>(shard.index - 1);
+}
 
 std::uint64_t
 SweepEngine::pointSeed(std::uint64_t base, std::size_t index)
@@ -98,17 +134,50 @@ SweepEngine::effectiveThreads(std::size_t points) const
 std::vector<PointResult>
 SweepEngine::run(const std::vector<GridPoint> &grid) const
 {
+    return run(grid, {});
+}
+
+std::vector<PointResult>
+SweepEngine::run(const std::vector<GridPoint> &grid,
+                 const std::vector<bool> &skip) const
+{
     const std::size_t n = grid.size();
+    if (!skip.empty() && skip.size() != n)
+        throw std::invalid_argument(
+            "skip mask size does not match the grid");
+
     std::vector<PointResult> results(n);
-    if (n == 0)
+    std::vector<std::size_t> selected;
+    selected.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        // Skipped slots still carry their identity so callers can
+        // label and re-plan them without consulting the grid again.
+        results[i].index = i;
+        results[i].label = grid[i].label;
+        if (skip.empty() || !skip[i])
+            selected.push_back(i);
+    }
+    const std::size_t todo = selected.size();
+    if (todo == 0)
         return results;
 
-    const int threads = effectiveThreads(n);
+    const int threads = effectiveThreads(todo);
 
     std::size_t done = 0; ///< Guarded by progress_mutex.
     std::mutex progress_mutex;
     std::mutex error_mutex;
     std::exception_ptr first_error;
+    // Once any point (or its journaling) fails the whole run is going
+    // to rethrow, so don't burn hours simulating results that will be
+    // discarded: in-flight points finish, queued ones are abandoned.
+    std::atomic<bool> stop{false};
+
+    auto record_error = [&] {
+        std::lock_guard<std::mutex> g(error_mutex);
+        if (!first_error)
+            first_error = std::current_exception();
+        stop.store(true, std::memory_order_relaxed);
+    };
 
     auto run_one = [&](std::size_t i) {
         const auto t0 = std::chrono::steady_clock::now();
@@ -119,9 +188,8 @@ SweepEngine::run(const std::vector<GridPoint> &grid) const
             r.stats = simulatePoint(
                 grid[i], pointSeed(opts_.seedBase, i), opts_.seedPolicy);
         } catch (...) {
-            std::lock_guard<std::mutex> g(error_mutex);
-            if (!first_error)
-                first_error = std::current_exception();
+            r.ok = false;
+            record_error();
         }
         r.wallSeconds =
             std::chrono::duration<double>(
@@ -131,24 +199,35 @@ SweepEngine::run(const std::vector<GridPoint> &grid) const
         if (opts_.onProgress) {
             // Count and report under one lock so the done counter is
             // monotonic in callback order (the final done==total call
-            // really is the last one).
+            // really is the last one). A throwing callback (e.g. a
+            // journal append hitting a full disk) must not escape a
+            // worker thread; it surfaces as the run's exception.
             std::lock_guard<std::mutex> g(progress_mutex);
-            opts_.onProgress(++done, n, results[i]);
+            try {
+                opts_.onProgress(++done, todo, results[i]);
+            } catch (...) {
+                record_error();
+            }
         }
     };
 
     if (threads == 1) {
-        for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t i : selected) {
+            if (stop.load(std::memory_order_relaxed))
+                break;
             run_one(i);
+        }
     } else {
         // Round-robin initial distribution, then work stealing.
         std::vector<StealQueue> queues(threads);
-        for (std::size_t i = 0; i < n; ++i)
-            queues[i % threads].push(i);
+        for (std::size_t k = 0; k < todo; ++k)
+            queues[k % threads].push(selected[k]);
 
         auto worker = [&](int id) {
             std::size_t i;
             for (;;) {
+                if (stop.load(std::memory_order_relaxed))
+                    return;
                 if (queues[id].popBack(i)) {
                     run_one(i);
                     continue;
@@ -196,6 +275,45 @@ toJson(const std::vector<PointResult> &results, bool with_host_perf)
     }
     out += results.empty() ? "]" : "\n]";
     return out;
+}
+
+std::uint64_t
+sweepFingerprint(const std::vector<PointResult> &results)
+{
+    Fnv64 h;
+    for (const PointResult &r : results) {
+        h.add(r.index);
+        h.add(statsFingerprint(r.stats));
+    }
+    return h.value();
+}
+
+ProgressMeter::ProgressMeter() : start_(std::chrono::steady_clock::now())
+{
+}
+
+std::string
+ProgressMeter::line(std::size_t done, std::size_t total,
+                    const std::string &label) const
+{
+    char buf[160];
+    const double elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start_)
+            .count();
+    if (done == 0 || elapsed <= 0) {
+        std::snprintf(buf, sizeof(buf), "[%zu/%zu] %-40.40s", done,
+                      total, label.c_str());
+        return buf;
+    }
+    const double rate = static_cast<double>(done) / elapsed;
+    const double eta_s =
+        rate > 0 ? static_cast<double>(total - done) / rate : 0;
+    const long eta = static_cast<long>(eta_s + 0.5);
+    std::snprintf(buf, sizeof(buf),
+                  "[%zu/%zu] %-40.40s %6.1f pts/s  eta %ld:%02ld", done,
+                  total, label.c_str(), rate, eta / 60, eta % 60);
+    return buf;
 }
 
 } // namespace hermes::sweep

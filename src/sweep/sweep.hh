@@ -11,6 +11,7 @@
  * so the output is byte-identical at any thread count.
  */
 
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <string>
@@ -43,7 +44,26 @@ struct PointResult
     std::string label;
     RunStats stats;
     double wallSeconds = 0;
+    /** False when the point's simulation threw (stats are default). */
+    bool ok = true;
 };
+
+/**
+ * One shard of a deterministic grid partition: shard i of N owns every
+ * grid index with index % count == index_ - 1 (1-based, so the CLI spec
+ * "--shard 2/4" reads naturally). count == 1 means "the whole grid".
+ */
+struct ShardSpec
+{
+    int index = 1;
+    int count = 1;
+};
+
+/**
+ * Parse "i/N" (1 <= i <= N). Throws std::invalid_argument on malformed
+ * specs, zero/negative counts or an out-of-range index.
+ */
+ShardSpec parseShardSpec(const std::string &spec);
 
 /** How the engine derives per-point seeds. */
 enum class SeedPolicy : std::uint8_t
@@ -92,11 +112,29 @@ class SweepEngine
      */
     std::vector<PointResult> run(const std::vector<GridPoint> &grid) const;
 
+    /**
+     * Run the grid points whose @p skip entry is false (an empty mask
+     * skips nothing). Seeds stay keyed by *grid* index, so a point
+     * simulates identically whether it runs in a full sweep, a shard
+     * or a resume; skipped slots keep a default PointResult (index and
+     * label filled, stats empty). Progress counts selected points only.
+     */
+    std::vector<PointResult> run(const std::vector<GridPoint> &grid,
+                                 const std::vector<bool> &skip) const;
+
     /** Threads that run() will use for a grid of @p points points. */
     int effectiveThreads(std::size_t points) const;
 
     /** splitmix64 mix of (base, index); the PerPoint seed derivation. */
     static std::uint64_t pointSeed(std::uint64_t base, std::size_t index);
+
+    /**
+     * True when grid index @p index belongs to @p shard. The partition
+     * is deterministic in the grid index alone (round-robin), so N
+     * shard runs cover every point exactly once regardless of machine,
+     * thread count or launch order.
+     */
+    static bool inShard(std::size_t index, const ShardSpec &shard);
 
   private:
     SweepOptions opts_;
@@ -113,5 +151,30 @@ std::string toCsv(const std::vector<PointResult> &results,
 /** JSON array of formatJsonRow() objects, grid order. */
 std::string toJson(const std::vector<PointResult> &results,
                    bool with_host_perf = false);
+
+/**
+ * FNV-1a over (index, statsFingerprint) of every result in grid order:
+ * one deterministic hash for a whole sweep. A merged set of shard
+ * journals must reproduce the unsharded run's value exactly — the
+ * sharded CI figure job pins these in tests/golden.
+ */
+std::uint64_t sweepFingerprint(const std::vector<PointResult> &results);
+
+/**
+ * Wall-clock progress formatter for --progress meters: tracks its own
+ * start time and renders "[done/total] label  3.2 pts/s  eta 0:41".
+ * Rate and ETA appear once the first point lands.
+ */
+class ProgressMeter
+{
+  public:
+    ProgressMeter();
+
+    std::string line(std::size_t done, std::size_t total,
+                     const std::string &label) const;
+
+  private:
+    std::chrono::steady_clock::time_point start_;
+};
 
 } // namespace hermes::sweep

@@ -4,7 +4,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <thread>
 
+#include "sim/report.hh"
 #include "sweep/sweep.hh"
 
 namespace hermes
@@ -126,6 +128,85 @@ TEST(Sweep, ProgressReportsEveryPoint)
     EXPECT_EQ(last_total, grid.size());
 }
 
+TEST(Sweep, SkipMaskRunsOnlySelectedPoints)
+{
+    const auto grid = smallGrid();
+    const auto full = sweep::SweepEngine().run(grid);
+
+    std::vector<bool> skip(grid.size(), false);
+    skip[1] = skip[4] = true;
+    const auto partial = sweep::SweepEngine().run(grid, skip);
+    ASSERT_EQ(partial.size(), grid.size());
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+        // Identity is filled either way; skipped slots stay empty.
+        EXPECT_EQ(partial[i].index, i);
+        EXPECT_EQ(partial[i].label, grid[i].label);
+        if (skip[i]) {
+            EXPECT_EQ(partial[i].stats.instrsRetired(), 0u);
+        } else {
+            // Seeds are keyed by grid index, so a point simulates
+            // identically with or without its neighbours.
+            EXPECT_EQ(statsFingerprint(partial[i].stats),
+                      statsFingerprint(full[i].stats));
+        }
+    }
+    EXPECT_THROW(
+        sweep::SweepEngine().run(grid, std::vector<bool>(2, false)),
+        std::invalid_argument);
+}
+
+TEST(Sweep, SkipAllRunsNothing)
+{
+    const auto grid = smallGrid();
+    std::size_t progress_calls = 0;
+    sweep::SweepOptions opts;
+    opts.onProgress = [&](std::size_t, std::size_t,
+                          const sweep::PointResult &) {
+        ++progress_calls;
+    };
+    const auto results = sweep::SweepEngine(opts).run(
+        grid, std::vector<bool>(grid.size(), true));
+    EXPECT_EQ(results.size(), grid.size());
+    EXPECT_EQ(progress_calls, 0u);
+}
+
+TEST(Sweep, ThreadsZeroMeansHardwareConcurrency)
+{
+    // The documented contract for --threads 0 (and the default).
+    sweep::SweepOptions opts;
+    opts.threads = 0;
+    const sweep::SweepEngine eng(opts);
+    const unsigned hw = std::thread::hardware_concurrency();
+    const int expected = hw ? static_cast<int>(hw) : 1;
+    EXPECT_EQ(eng.effectiveThreads(100000), expected);
+    // Never more threads than points.
+    EXPECT_EQ(eng.effectiveThreads(1), 1);
+    EXPECT_EQ(eng.effectiveThreads(0), 1);
+}
+
+TEST(Sweep, SweepFingerprintKeyedOnResults)
+{
+    const auto results = sweep::SweepEngine().run(smallGrid());
+    const std::uint64_t base = sweep::sweepFingerprint(results);
+    EXPECT_EQ(base, sweep::sweepFingerprint(results));
+    auto tweaked = results;
+    tweaked[0].stats.simCycles += 1;
+    EXPECT_NE(sweep::sweepFingerprint(tweaked), base);
+    EXPECT_NE(sweep::sweepFingerprint({}), base);
+}
+
+TEST(Sweep, ProgressMeterReportsRateAndEta)
+{
+    const sweep::ProgressMeter meter;
+    const std::string start = meter.line(0, 10, "warm");
+    EXPECT_NE(start.find("[0/10]"), std::string::npos);
+    EXPECT_EQ(start.find("pts/s"), std::string::npos);
+    const std::string mid = meter.line(5, 10, "half");
+    EXPECT_NE(mid.find("[5/10]"), std::string::npos);
+    EXPECT_NE(mid.find("pts/s"), std::string::npos);
+    EXPECT_NE(mid.find("eta"), std::string::npos);
+}
+
 TEST(Sweep, MultiCoreMixPointRuns)
 {
     SystemConfig cfg = SystemConfig::baseline(2);
@@ -146,6 +227,29 @@ TEST(Sweep, PointExceptionPropagatesToCaller)
     opts.threads = 2;
     EXPECT_THROW(sweep::SweepEngine(opts).run({bad, bad}),
                  std::invalid_argument);
+}
+
+TEST(Sweep, ErrorStopsDispatchOfQueuedPoints)
+{
+    // After a point fails, the run is doomed to rethrow — queued
+    // points must be abandoned, not simulated and discarded. Serial
+    // execution makes the assertion deterministic.
+    SystemConfig bad_cfg = SystemConfig::baseline(2);
+    sweep::GridPoint bad{"bad", bad_cfg, {quickSuite()[0]},
+                         tinyBudget()};
+    std::vector<sweep::GridPoint> grid = smallGrid();
+    grid.insert(grid.begin(), bad);
+
+    std::size_t progress_calls = 0;
+    sweep::SweepOptions opts;
+    opts.threads = 1;
+    opts.onProgress = [&](std::size_t, std::size_t,
+                          const sweep::PointResult &) {
+        ++progress_calls;
+    };
+    EXPECT_THROW(sweep::SweepEngine(opts).run(grid),
+                 std::invalid_argument);
+    EXPECT_EQ(progress_calls, 1u);
 }
 
 TEST(SweepOutput, CsvHasHeaderAndOneRowPerPoint)

@@ -1,0 +1,137 @@
+#!/usr/bin/env bash
+# The sharded CI figure pipeline: one place that defines the
+# scaled-down fig12 + fig16 sweep grids, so the 4-way shard matrix,
+# the merge job and local golden regeneration can never drift apart.
+#
+# Usage:
+#   tools/ci_sweep.sh shard I N OUTDIR   run shard I/N of both grids,
+#                                        journaling to OUTDIR
+#   tools/ci_sweep.sh merge INDIR OUTDIR union INDIR/*'s shard
+#                                        journals, emit merged
+#                                        journals/CSVs/fingerprints in
+#                                        OUTDIR and assert the pinned
+#                                        goldens
+#   tools/ci_sweep.sh golden OUTDIR      run both grids unsharded and
+#                                        rewrite tests/golden/
+#                                        ci_sweep_fingerprints.txt
+#
+# HERMES_SWEEP points at the hermes_sweep binary (default:
+# build/hermes_sweep relative to the repo root).
+
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+sweep_bin="${HERMES_SWEEP:-$repo_root/build/hermes_sweep}"
+golden_file="$repo_root/tests/golden/ci_sweep_fingerprints.txt"
+
+# The grids are part of the pinned golden fingerprints: keep ambient
+# scaling out of them.
+unset HERMES_SIM_SCALE HERMES_BENCH_SUITE
+
+# Scaled-down fig12: the paper's single-core mechanism grid (no-pf /
+# Hermes-O / Pythia / Pythia+Hermes-O) over the quick suite.
+fig12_space() {
+    "$sweep_bin" \
+        predictor=popet hermes.issue_latency=6 \
+        --axis "prefetcher=none,pythia" \
+        --axis "hermes.enabled=false,true" \
+        --suite quick --warmup 6000 --instrs 20000 \
+        --no-progress "$@"
+}
+
+# Scaled-down fig16: the eight-core predictor comparison on one
+# heterogeneous and one homogeneous mix.
+hetero_mix="spec06.mcf_like.0,spec06.lbm_like.0,spec17.fotonik_like.0"
+hetero_mix+=",spec17.xalancbmk_like.0,parsec.streamcluster_like.0"
+hetero_mix+=",ligra.bfs_like.0,ligra.pagerank_like.0,cvp.server_db_like.0"
+fig16_space() {
+    "$sweep_bin" \
+        system.cores=8 prefetcher=pythia hermes.enabled=true \
+        --axis "predictor=hmp,ttp,popet" \
+        --mix "$hetero_mix" --trace spec06.mcf_like.0 \
+        --warmup 2000 --instrs 6000 \
+        --no-progress "$@"
+}
+
+mips_of_journal() { # journal file -> "X.XX" (simulated MIPS) or "-"
+    python3 - "$1" <<'EOF'
+import json, sys
+instrs = seconds = 0
+with open(sys.argv[1]) as f:
+    for line in f:
+        rec = json.loads(line)
+        if "host" in rec:
+            seconds += rec["host"][0]
+            instrs += rec["host"][1]
+print(f"{instrs / seconds / 1e6:.2f}" if seconds > 0 else "-")
+EOF
+}
+
+step_summary() { # append a line to the GitHub step summary, if any
+    if [ -n "${GITHUB_STEP_SUMMARY:-}" ]; then
+        echo "$1" >>"$GITHUB_STEP_SUMMARY"
+    fi
+}
+
+cmd="${1:?usage: ci_sweep.sh shard|merge|golden ...}"
+shift
+case "$cmd" in
+shard)
+    i="${1:?shard index}"
+    n="${2:?shard count}"
+    out="${3:?output dir}"
+    mkdir -p "$out"
+    fig12_space --shard "$i/$n" --journal "$out/fig12-shard$i.jsonl"
+    fig16_space --shard "$i/$n" --journal "$out/fig16-shard$i.jsonl"
+    step_summary "| shard $i/$n fig12 | $(mips_of_journal "$out/fig12-shard$i.jsonl") MIPS |"
+    step_summary "| shard $i/$n fig16 | $(mips_of_journal "$out/fig16-shard$i.jsonl") MIPS |"
+    ;;
+merge)
+    in="${1:?input dir}"
+    out="${2:?output dir}"
+    mkdir -p "$out"
+    for fig in fig12 fig16; do
+        resumes=()
+        for j in "$in"/$fig-shard*.jsonl; do
+            resumes+=(--resume "$j")
+        done
+        ${fig}_space "${resumes[@]}" --merge \
+            --journal "$out/$fig.jsonl" --csv "$out/$fig.csv" \
+            --fingerprint >"$out/$fig.fingerprint"
+        got="$(cat "$out/$fig.fingerprint")"
+        want="$(awk -v f="$fig" '$1 == f {print $2}' "$golden_file")"
+        if [ "$got" != "$want" ]; then
+            echo "FAIL: merged $fig fingerprint $got != golden $want" >&2
+            echo "      (tools/ci_sweep.sh golden regenerates the" \
+                "golden after an intentional simulation change)" >&2
+            exit 1
+        fi
+        echo "OK: merged $fig fingerprint $got matches golden"
+    done
+    step_summary "| merged fig12 | fingerprint $(cat "$out/fig12.fingerprint") |"
+    step_summary "| merged fig16 | fingerprint $(cat "$out/fig16.fingerprint") |"
+    ;;
+golden)
+    out="${1:?output dir}"
+    mkdir -p "$out"
+    fig12_space --journal "$out/fig12.jsonl" --csv "$out/fig12.csv" \
+        --fingerprint >"$out/fig12.fingerprint"
+    fig16_space --journal "$out/fig16.jsonl" --csv "$out/fig16.csv" \
+        --fingerprint >"$out/fig16.fingerprint"
+    {
+        echo "# Pinned sweep fingerprints for the sharded CI figure"
+        echo "# pipeline (tools/ci_sweep.sh); the merge of the 4 shard"
+        echo "# journals must reproduce these exactly. Regenerate with"
+        echo "# tools/ci_sweep.sh golden <dir> after an intentional"
+        echo "# simulation-visible change."
+        echo "fig12 $(cat "$out/fig12.fingerprint")"
+        echo "fig16 $(cat "$out/fig16.fingerprint")"
+    } >"$golden_file"
+    echo "wrote $golden_file:"
+    grep -v '^#' "$golden_file"
+    ;;
+*)
+    echo "unknown command '$cmd' (want shard|merge|golden)" >&2
+    exit 2
+    ;;
+esac
