@@ -11,6 +11,7 @@
 #include <cstdio>
 
 #include "harness/harness.hh"
+#include "sim/stat_registry.hh"
 
 using namespace hermes;
 using namespace hermes::bench;
@@ -26,11 +27,15 @@ main(int argc, char **argv)
              "eliminable %"});
     std::map<std::string, std::array<double, 4>> agg;
     for (const auto &r : rs) {
+        // Registry aggregates (summed across cores), so the breakdown
+        // stays correct if this driver ever fans out multi-core grids.
         auto &a = agg[r.category];
-        const auto &c = r.stats.core[0];
-        a[0] += static_cast<double>(c.stallCyclesOffChip);
-        a[1] += static_cast<double>(c.stallCyclesEliminable);
-        a[2] += static_cast<double>(c.offChipBlocking);
+        a[0] += static_cast<double>(
+            statU64(r.stats, "core.stall_offchip"));
+        a[1] += static_cast<double>(
+            statU64(r.stats, "core.stall_eliminable"));
+        a[2] += static_cast<double>(
+            statU64(r.stats, "core.offchip_blocking"));
         a[3] += 1;
     }
     double s_all = 0, e_all = 0, n_all = 0;

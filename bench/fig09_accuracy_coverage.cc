@@ -11,6 +11,7 @@
 #include <cstdio>
 
 #include "harness/harness.hh"
+#include "sim/stat_registry.hh"
 
 using namespace hermes;
 using namespace hermes::bench;
@@ -29,16 +30,18 @@ main(int argc, char **argv)
         std::map<std::string, PredictorStats> agg;
         PredictorStats all;
         for (const auto &r : rs) {
-            const PredictorStats p = r.stats.predTotal();
+            // Confusion-matrix counters through their registry keys
+            // (the same pred.* columns --stats exposes in the dumps).
             auto &a = agg[r.category];
-            a.truePositives += p.truePositives;
-            a.falsePositives += p.falsePositives;
-            a.falseNegatives += p.falseNegatives;
-            a.trueNegatives += p.trueNegatives;
-            all.truePositives += p.truePositives;
-            all.falsePositives += p.falsePositives;
-            all.falseNegatives += p.falseNegatives;
-            all.trueNegatives += p.trueNegatives;
+            for (auto [key, field] :
+                 {std::pair{"pred.tp", &PredictorStats::truePositives},
+                  {"pred.fp", &PredictorStats::falsePositives},
+                  {"pred.fn", &PredictorStats::falseNegatives},
+                  {"pred.tn", &PredictorStats::trueNegatives}}) {
+                const std::uint64_t v = statU64(r.stats, key);
+                a.*field += v;
+                all.*field += v;
+            }
         }
         for (const auto &[cat, p] : agg)
             t.addRow({predictorKindName(pk), cat,

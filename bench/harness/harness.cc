@@ -12,6 +12,8 @@
 
 #include "common/stats.hh"
 #include "sim/param_registry.hh"
+#include "sim/report.hh"
+#include "sim/stat_registry.hh"
 #include "sweep/journal.hh"
 
 namespace hermes::bench
@@ -46,7 +48,8 @@ usage(const char *argv0)
     std::fprintf(
         stderr,
         "usage: %s [--threads N] [--suite quick|full] [--scale F]\n"
-        "          [--csv FILE] [--json FILE] [--progress|--no-progress]\n"
+        "          [--csv FILE] [--json FILE] [--stats LIST]\n"
+        "          [--progress|--no-progress]\n"
         "          [--mips] [--shard i/N] [--journal FILE]\n"
         "          [--resume FILE]... [--list]\n"
         "  --threads N   sweep worker threads (0 = all hardware\n"
@@ -57,6 +60,9 @@ usage(const char *argv0)
         " HERMES_SIM_SCALE)\n"
         "  --csv FILE    dump every simulated point as CSV on exit\n"
         "  --json FILE   dump every simulated point as JSON on exit\n"
+        "  --stats LIST  dump columns: comma-separated stat keys,\n"
+        "                per-core forms (core.0.ipc) and globs\n"
+        "                (dram.*; see hermes_run --list-stats)\n"
         "  --progress    per-point meter with points/sec and ETA\n"
         "  --mips        report simulated-MIPS per grid and add\n"
         "                sim_mips/host_seconds columns to the dumps\n"
@@ -91,20 +97,17 @@ flushSweepDumps()
         std::fprintf(stderr,
                      "note: --csv/--json dumps hold only the points "
                      "this shard covered\n");
-    if (!g_cli.csvPath.empty()) {
-        std::ofstream out(g_cli.csvPath);
-        out << sweep::toCsv(g_all_results, g_cli.mips);
-        if (!out)
-            std::fprintf(stderr, "warning: could not write %s\n",
-                         g_cli.csvPath.c_str());
-    }
-    if (!g_cli.jsonPath.empty()) {
-        std::ofstream out(g_cli.jsonPath);
-        out << sweep::toJson(g_all_results, g_cli.mips) << "\n";
-        if (!out)
-            std::fprintf(stderr, "warning: could not write %s\n",
-                         g_cli.jsonPath.c_str());
-    }
+    std::vector<StatColumn> columns =
+        g_cli.statsSpec.empty() ? defaultStatColumns(g_cli.mips)
+                                : selectStatColumns(g_cli.statsSpec);
+    if (!g_cli.statsSpec.empty() && g_cli.mips)
+        appendHostPerfColumns(columns);
+    if (!g_cli.csvPath.empty())
+        writeTextFile(g_cli.csvPath,
+                      sweep::toCsv(g_all_results, columns));
+    if (!g_cli.jsonPath.empty())
+        writeTextFile(g_cli.jsonPath,
+                      sweep::toJson(g_all_results, columns) + "\n");
 }
 
 } // namespace
@@ -136,6 +139,16 @@ initCli(int argc, char **argv)
             g_cli.csvPath = value();
         } else if (arg == "--json") {
             g_cli.jsonPath = value();
+        } else if (arg == "--stats") {
+            g_cli.statsSpec = value();
+            // Fail fast on typos: selection errors surface here, not
+            // after a whole figure grid has simulated.
+            try {
+                selectStatColumns(g_cli.statsSpec);
+            } catch (const std::invalid_argument &e) {
+                std::fprintf(stderr, "error: %s\n", e.what());
+                std::exit(2);
+            }
         } else if (arg == "--progress") {
             g_cli.progress = true;
         } else if (arg == "--no-progress") {

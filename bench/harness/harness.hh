@@ -18,9 +18,11 @@
  *
  * CLI flags (initCli; they win over the environment):
  *  --threads N (0 = all hardware threads), --suite quick|full,
- *  --scale F, --csv FILE, --json FILE, --progress, --no-progress,
- *  --mips, --list (print available predictors, prefetchers, suites
- *  and registry parameters, then exit).
+ *  --scale F, --csv FILE, --json FILE, --stats LIST (registry column
+ *  selection for the dumps, e.g. "core.ipc,llc.mpki,dram.*"),
+ *  --progress, --no-progress, --mips, --list (print available
+ *  predictors, prefetchers, suites and registry parameters, then
+ *  exit).
  *
  * Fleet orchestration (see src/sweep/journal.hh): every grid a driver
  * fans out is journaled, shardable and resumable with the same flags
@@ -67,6 +69,12 @@ struct CliOptions
     /** Write every simulated grid point as CSV/JSON on exit. */
     std::string csvPath;
     std::string jsonPath;
+    /**
+     * Registry column selection for the dumps ("" = the default
+     * aggregate columns, plus host-perf columns under --mips). See
+     * sim/stat_registry.hh for the key syntax.
+     */
+    std::string statsSpec;
     /** This process's slice of every grid (default: all of it). */
     sweep::ShardSpec shard;
     /** Journal completed points here ("" = no journaling). */

@@ -31,6 +31,7 @@
 #include "sim/param_registry.hh"
 #include "sim/report.hh"
 #include "sim/simulator.hh"
+#include "sim/stat_registry.hh"
 #include "sweep/axis.hh"
 #include "trace/suite.hh"
 
@@ -66,41 +67,22 @@ usage(const char *argv0, int exit_code)
         "  --report         full plain-text statistics report\n"
         "  --csv FILE|-     header + one CSV row\n"
         "  --json FILE|-    one JSON object\n"
+        "  --stats LIST     CSV/JSON columns: comma-separated stat keys,\n"
+        "                   per-core forms (core.0.ipc) and globs\n"
+        "                   (dram.*); default: the aggregate column set\n"
         "  --fingerprint    print only the 16-hex deterministic RunStats\n"
-        "                   fingerprint (golden-comparable)\n"
+        "                   fingerprint (golden-comparable; --stats\n"
+        "                   never changes it)\n"
         "\n"
         "discovery:\n"
         "  --list           predictors, prefetchers, replacement policies,\n"
         "                   suites and all parameters\n"
         "  --list-params    parameter table only\n"
+        "  --list-stats     statistics table (key, type, aggregation,\n"
+        "                   fingerprint flag, description)\n"
         "  -h, --help       this message\n",
         argv0, kDefaultTrace);
     std::exit(exit_code);
-}
-
-/** Write @p text to @p path ("-" = stdout); false on write failure. */
-bool
-emit(const std::string &path, const std::string &text)
-{
-    if (path == "-") {
-        const std::size_t n =
-            std::fwrite(text.data(), 1, text.size(), stdout);
-        if (n != text.size() || std::fflush(stdout) != 0) {
-            std::fprintf(stderr,
-                         "error: could not write dump to stdout\n");
-            return false;
-        }
-        return true;
-    }
-    std::ofstream out(path);
-    out << text;
-    out.flush();
-    if (!out) {
-        std::fprintf(stderr, "error: could not write %s\n",
-                     path.c_str());
-        return false;
-    }
-    return true;
 }
 
 struct Options
@@ -112,6 +94,7 @@ struct Options
     std::string label;
     std::string csvPath;
     std::string jsonPath;
+    std::string statsSpec;
     bool report = false;
     bool fingerprintOnly = false;
 };
@@ -149,7 +132,7 @@ parseCli(int argc, char **argv)
                 for (const char *o :
                      {"--config", "--trace", "--mix", "--warmup",
                       "--instrs", "--scale", "--label", "--csv",
-                      "--json"}) {
+                      "--json", "--stats"}) {
                     if (name == o) {
                         has_inline = true;
                         inline_val = arg.substr(eq + 1);
@@ -177,6 +160,10 @@ parseCli(int argc, char **argv)
         } else if (arg == "--list-params") {
             std::printf("%s",
                         ParamRegistry::instance().describe().c_str());
+            std::exit(0);
+        } else if (arg == "--list-stats") {
+            std::printf("%s",
+                        StatRegistry::instance().describe().c_str());
             std::exit(0);
         } else if (arg == "--config") {
             const std::string path = value();
@@ -233,6 +220,8 @@ parseCli(int argc, char **argv)
             opt.csvPath = value();
         } else if (arg == "--json") {
             opt.jsonPath = value();
+        } else if (arg == "--stats") {
+            opt.statsSpec = value();
         } else if (arg == "--report") {
             opt.report = true;
         } else if (arg == "--fingerprint") {
@@ -307,6 +296,14 @@ main(int argc, char **argv)
                 "-core system (use one trace per core, or a single "
                 "trace to replicate)");
 
+        // Validate the column selection before simulating: a typo'd
+        // --stats must not cost the run. Selection shapes the dumps
+        // only; fingerprints and the summary always cover the full
+        // statistics set.
+        const std::vector<StatColumn> columns =
+            opt.statsSpec.empty() ? defaultStatColumns()
+                                  : selectStatColumns(opt.statsSpec);
+
         const SimBudget budget =
             SimBudget::fromEnv(opt.warmup, opt.instrs);
         const RunStats stats = simulate(cfg, traces, budget);
@@ -358,12 +355,14 @@ main(int argc, char **argv)
 
         bool dumps_ok = true;
         if (!opt.csvPath.empty())
-            dumps_ok &= emit(opt.csvPath,
-                             csvHeader() + "\n" +
-                                 formatCsvRow(opt.label, stats) + "\n");
+            dumps_ok &= writeTextFile(
+                opt.csvPath,
+                csvHeader(columns) + "\n" +
+                    formatCsvRow(opt.label, stats, columns) + "\n");
         if (!opt.jsonPath.empty())
-            dumps_ok &= emit(opt.jsonPath,
-                             formatJsonRow(opt.label, stats) + "\n");
+            dumps_ok &= writeTextFile(
+                opt.jsonPath,
+                formatJsonRow(opt.label, stats, columns) + "\n");
         return dumps_ok ? 0 : 1;
     } catch (const std::exception &e) {
         std::fprintf(stderr, "error: %s\n", e.what());

@@ -36,6 +36,7 @@
 #include "common/config.hh"
 #include "sim/param_registry.hh"
 #include "sim/report.hh"
+#include "sim/stat_registry.hh"
 #include "sweep/axis.hh"
 #include "sweep/journal.hh"
 #include "sweep/sweep.hh"
@@ -87,12 +88,18 @@ usage(const char *argv0, int exit_code)
         "output (CSV/JSON/fingerprint need a complete grid):\n"
         "  --csv FILE|-     one CSV row per grid point\n"
         "  --json FILE|-    JSON array of grid points\n"
-        "  --fingerprint    print the 16-hex sweep fingerprint\n"
+        "  --stats LIST     CSV/JSON columns: comma-separated stat keys,\n"
+        "                   per-core forms (core.0.ipc) and globs\n"
+        "                   (dram.*); default: the aggregate column set\n"
+        "  --fingerprint    print the 16-hex sweep fingerprint (never\n"
+        "                   affected by --stats column selection)\n"
         "  --mips           per-point MIPS summary + sim_mips and\n"
         "                   host_seconds columns in the dumps\n"
         "  --list-grid      print the expanded grid and its space\n"
         "                   fingerprint, then exit\n"
         "  --list           scenario-space discovery listing\n"
+        "  --list-stats     statistics table (key, type, aggregation,\n"
+        "                   fingerprint flag, description)\n"
         "  -h, --help       this message\n",
         argv0);
     std::exit(exit_code);
@@ -117,6 +124,7 @@ struct Options
 
     std::string csvPath;
     std::string jsonPath;
+    std::string statsSpec;
     bool fingerprint = false;
     bool mips = false;
     bool listGrid = false;
@@ -162,6 +170,10 @@ parseCli(int argc, char **argv)
             usage(argv[0], 0);
         } else if (arg == "--list") {
             std::printf("%s", describeScenarioSpace().c_str());
+            std::exit(0);
+        } else if (arg == "--list-stats") {
+            std::printf("%s",
+                        StatRegistry::instance().describe().c_str());
             std::exit(0);
         } else if (arg == "--list-grid") {
             opt.listGrid = true;
@@ -218,6 +230,8 @@ parseCli(int argc, char **argv)
             opt.csvPath = value();
         } else if (arg == "--json") {
             opt.jsonPath = value();
+        } else if (arg == "--stats") {
+            opt.statsSpec = value();
         } else if (arg == "--fingerprint") {
             opt.fingerprint = true;
         } else if (arg == "--mips") {
@@ -361,31 +375,6 @@ buildGrid(Options &opt)
     return grid;
 }
 
-/** Write @p text to @p path ("-" = stdout); false on write failure. */
-bool
-emit(const std::string &path, const std::string &text)
-{
-    if (path == "-") {
-        const std::size_t n =
-            std::fwrite(text.data(), 1, text.size(), stdout);
-        if (n != text.size() || std::fflush(stdout) != 0) {
-            std::fprintf(stderr,
-                         "error: could not write dump to stdout\n");
-            return false;
-        }
-        return true;
-    }
-    std::ofstream out(path);
-    out << text;
-    out.flush();
-    if (!out) {
-        std::fprintf(stderr, "error: could not write %s\n",
-                     path.c_str());
-        return false;
-    }
-    return true;
-}
-
 } // namespace
 
 int
@@ -394,6 +383,16 @@ main(int argc, char **argv)
     Options opt = parseCli(argc, argv);
     try {
         const std::vector<sweep::GridPoint> grid = buildGrid(opt);
+
+        // Validate the column selection before any simulation runs: a
+        // typo'd --stats must not cost a whole sweep. Selection shapes
+        // the dumps only; the sweep fingerprint always hashes the full
+        // statistics set.
+        std::vector<StatColumn> columns =
+            opt.statsSpec.empty() ? defaultStatColumns(opt.mips)
+                                  : selectStatColumns(opt.statsSpec);
+        if (!opt.statsSpec.empty() && opt.mips)
+            appendHostPerfColumns(columns);
 
         if (opt.listGrid) {
             std::printf("grid: %zu points, space %s\n", grid.size(),
@@ -537,12 +536,12 @@ main(int argc, char **argv)
                                 sweep::sweepFingerprint(run.results))
                                 .c_str());
             if (!opt.csvPath.empty())
-                dumps_ok &= emit(opt.csvPath,
-                                 sweep::toCsv(run.results, opt.mips));
+                dumps_ok &= writeTextFile(
+                    opt.csvPath, sweep::toCsv(run.results, columns));
             if (!opt.jsonPath.empty())
-                dumps_ok &=
-                    emit(opt.jsonPath,
-                         sweep::toJson(run.results, opt.mips) + "\n");
+                dumps_ok &= writeTextFile(
+                    opt.jsonPath,
+                    sweep::toJson(run.results, columns) + "\n");
         } else if (opt.fingerprint || !opt.csvPath.empty() ||
                    !opt.jsonPath.empty()) {
             // An explicitly requested output that cannot be produced

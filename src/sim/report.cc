@@ -1,10 +1,12 @@
 #include "sim/report.hh"
 
 #include <cstdio>
+#include <fstream>
 #include <sstream>
 #include <vector>
 
 #include "sim/power.hh"
+#include "sim/stat_registry.hh"
 
 namespace hermes
 {
@@ -94,75 +96,6 @@ formatReport(const RunStats &stats)
     return os.str();
 }
 
-namespace
-{
-
-/** One aggregate column; CSV and JSON render the same list. */
-struct Field
-{
-    const char *name;
-    std::string value;
-};
-
-std::string
-num(double v)
-{
-    std::ostringstream os;
-    os << v;
-    return os.str();
-}
-
-std::string
-num(std::uint64_t v)
-{
-    std::ostringstream os;
-    os << v;
-    return os.str();
-}
-
-std::vector<Field>
-aggregateFields(const RunStats &stats, bool with_host_perf)
-{
-    std::uint64_t loads = 0, offchip = 0;
-    for (const auto &c : stats.core) {
-        loads += c.loadsRetired;
-        offchip += c.loadsOffChip;
-    }
-    const PredictorStats pred = stats.predTotal();
-    const PowerBreakdown power = computePower(stats);
-    const double total_ipc =
-        stats.simCycles
-            ? static_cast<double>(stats.instrsRetired()) /
-                  static_cast<double>(stats.simCycles)
-            : 0.0;
-
-    std::vector<Field> fields = {
-        {"cycles", num(stats.simCycles)},
-        {"instrs", num(stats.instrsRetired())},
-        {"ipc", num(total_ipc)},
-        {"llc_mpki", num(stats.llcMpki())},
-        {"loads", num(loads)},
-        {"offchip_loads", num(offchip)},
-        {"pred_accuracy", num(pred.accuracy())},
-        {"pred_coverage", num(pred.coverage())},
-        {"dram_reads", num(stats.dram.totalReads())},
-        {"dram_writes", num(stats.dram.writes)},
-        {"hermes_issued", num(stats.dram.hermesIssued)},
-        {"hermes_useful", num(stats.dram.hermesUseful)},
-        {"hermes_dropped", num(stats.dram.hermesDropped)},
-        {"pf_issued", num(stats.prefetch.issued)},
-        {"pf_useful", num(stats.prefetch.useful)},
-        {"power_mw", num(power.total())},
-    };
-    if (with_host_perf) {
-        fields.push_back({"sim_mips", num(stats.hostPerf.mips())});
-        fields.push_back({"host_seconds", num(stats.hostPerf.seconds)});
-    }
-    return fields;
-}
-
-} // namespace
-
 std::string
 jsonEscape(const std::string &s)
 {
@@ -191,28 +124,45 @@ fingerprintHex(std::uint64_t fp)
 }
 
 std::string
+csvHeader(const std::vector<StatColumn> &columns)
+{
+    std::string header = "label";
+    for (const StatColumn &c : columns)
+        header += "," + c.name;
+    return header;
+}
+
+std::string
 csvHeader(bool with_host_perf)
 {
-    // Static mirror of the aggregateFields() names (computing them
-    // would run the whole aggregation on empty stats); the report
-    // tests assert header arity and keys match the rows.
-    std::string header =
-        "label,cycles,instrs,ipc,llc_mpki,loads,offchip_loads,"
-        "pred_accuracy,pred_coverage,dram_reads,dram_writes,"
-        "hermes_issued,hermes_useful,hermes_dropped,pf_issued,"
-        "pf_useful,power_mw";
-    if (with_host_perf)
-        header += ",sim_mips,host_seconds";
-    return header;
+    return csvHeader(defaultStatColumns(with_host_perf));
+}
+
+std::string
+formatCsvRow(const std::string &label, const RunStats &stats,
+             const std::vector<StatColumn> &columns)
+{
+    std::string out = label;
+    for (const StatColumn &c : columns)
+        out += "," + statColumnValue(c, stats);
+    return out;
 }
 
 std::string
 formatCsvRow(const std::string &label, const RunStats &stats,
              bool with_host_perf)
 {
-    std::string out = label;
-    for (const Field &f : aggregateFields(stats, with_host_perf))
-        out += "," + f.value;
+    return formatCsvRow(label, stats, defaultStatColumns(with_host_perf));
+}
+
+std::string
+formatJsonRow(const std::string &label, const RunStats &stats,
+              const std::vector<StatColumn> &columns)
+{
+    std::string out = "{\"label\":\"" + jsonEscape(label) + "\"";
+    for (const StatColumn &c : columns)
+        out += ",\"" + c.name + "\":" + statColumnValue(c, stats);
+    out += "}";
     return out;
 }
 
@@ -220,99 +170,32 @@ std::string
 formatJsonRow(const std::string &label, const RunStats &stats,
               bool with_host_perf)
 {
-    std::string out = "{\"label\":\"" + jsonEscape(label) + "\"";
-    for (const Field &f : aggregateFields(stats, with_host_perf))
-        out += std::string(",\"") + f.name + "\":" + f.value;
-    out += "}";
-    return out;
+    return formatJsonRow(label, stats,
+                         defaultStatColumns(with_host_perf));
 }
 
-namespace
+bool
+writeTextFile(const std::string &path, const std::string &text)
 {
-
-void
-addCacheStats(Fnv64 &h, const CacheStats &c)
-{
-    h.add(c.loadLookups);
-    h.add(c.loadHits);
-    h.add(c.rfoLookups);
-    h.add(c.rfoHits);
-    h.add(c.writebackLookups);
-    h.add(c.writebackHits);
-    h.add(c.prefetchLookups);
-    h.add(c.prefetchDropped);
-    h.add(c.prefetchIssued);
-    h.add(c.mshrMerges);
-    h.add(c.mshrLatePrefetchHits);
-    h.add(c.fills);
-    h.add(c.prefetchFills);
-    h.add(c.evictions);
-    h.add(c.dirtyEvictions);
-    h.add(c.usefulPrefetches);
-    h.add(c.uselessPrefetches);
-    h.add(c.rqRejects);
-}
-
-} // namespace
-
-std::uint64_t
-statsFingerprint(const RunStats &stats)
-{
-    Fnv64 h;
-    h.add(stats.simCycles);
-    h.add(stats.core.size());
-    for (const CoreStats &c : stats.core) {
-        h.add(c.cycles);
-        h.add(c.instrsRetired);
-        h.add(c.loadsRetired);
-        h.add(c.storesRetired);
-        h.add(c.branchesRetired);
-        h.add(c.branchMispredicts);
-        h.add(c.loadsOffChip);
-        h.add(c.offChipBlocking);
-        h.add(c.offChipNonBlocking);
-        h.add(c.loadsServedByHermes);
-        h.add(c.stallCyclesOffChip);
-        h.add(c.stallCyclesOtherLoad);
-        h.add(c.stallCyclesOther);
-        h.add(c.stallCyclesEliminable);
+    if (path == "-") {
+        const std::size_t n =
+            std::fwrite(text.data(), 1, text.size(), stdout);
+        if (n != text.size() || std::fflush(stdout) != 0) {
+            std::fprintf(stderr,
+                         "error: could not write dump to stdout\n");
+            return false;
+        }
+        return true;
     }
-    for (const BranchStats &b : stats.branch) {
-        h.add(b.lookups);
-        h.add(b.mispredicts);
+    std::ofstream out(path);
+    out << text;
+    out.flush();
+    if (!out) {
+        std::fprintf(stderr, "error: could not write %s\n",
+                     path.c_str());
+        return false;
     }
-    for (const PredictorStats &p : stats.predictor) {
-        h.add(p.truePositives);
-        h.add(p.falsePositives);
-        h.add(p.falseNegatives);
-        h.add(p.trueNegatives);
-    }
-    for (const std::uint64_t c : stats.coreFinishCycle)
-        h.add(c);
-    addCacheStats(h, stats.l1);
-    addCacheStats(h, stats.l2);
-    addCacheStats(h, stats.llc);
-    const DramStats &d = stats.dram;
-    h.add(d.demandReads);
-    h.add(d.prefetchReads);
-    h.add(d.hermesReads);
-    h.add(d.writes);
-    h.add(d.rowHits);
-    h.add(d.rowMisses);
-    h.add(d.rowConflicts);
-    h.add(d.readMerges);
-    h.add(d.wqForwards);
-    h.add(d.hermesIssued);
-    h.add(d.hermesMergedIntoExisting);
-    h.add(d.hermesDropped);
-    h.add(d.hermesUseful);
-    h.add(d.hermesRejected);
-    h.add(stats.prefetch.issued);
-    h.add(stats.prefetch.useful);
-    h.add(stats.prefetch.useless);
-    h.add(stats.hermesRequestsScheduled);
-    h.add(stats.hermesLoadsServed);
-    return h.value();
+    return true;
 }
 
 } // namespace hermes

@@ -8,7 +8,9 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
+#include "sim/stat_registry.hh"
 #include "sim/system.hh"
 
 namespace hermes
@@ -57,16 +59,31 @@ class Fnv64
 std::string formatReport(const RunStats &stats);
 
 /**
- * One-line CSV header matching formatCsvRow(). When @p with_host_perf
- * is set, sim_mips/host_seconds columns are appended; they describe
- * the simulator's own throughput and are non-deterministic, so they
- * are opt-in (the bench harness enables them via --mips).
+ * One-line CSV header for a registry-selected column list (see
+ * sim/stat_registry.hh; "label" always leads).
+ */
+std::string csvHeader(const std::vector<StatColumn> &columns);
+
+/**
+ * One-line CSV header matching formatCsvRow(): the default aggregate
+ * columns. When @p with_host_perf is set, sim_mips/host_seconds
+ * columns are appended; they describe the simulator's own throughput
+ * and are non-deterministic, so they are opt-in (the bench harness
+ * enables them via --mips).
  */
 std::string csvHeader(bool with_host_perf = false);
+
+/** CSV row of registry-selected columns. */
+std::string formatCsvRow(const std::string &label, const RunStats &stats,
+                         const std::vector<StatColumn> &columns);
 
 /** Flat CSV row (aggregated over cores) for scripted consumption. */
 std::string formatCsvRow(const std::string &label, const RunStats &stats,
                          bool with_host_perf = false);
+
+/** JSON object of registry-selected columns (keys = column names). */
+std::string formatJsonRow(const std::string &label, const RunStats &stats,
+                          const std::vector<StatColumn> &columns);
 
 /**
  * The same flat aggregate as formatCsvRow() as a single JSON object
@@ -76,13 +93,23 @@ std::string formatJsonRow(const std::string &label, const RunStats &stats,
                           bool with_host_perf = false);
 
 /**
- * FNV-1a hash over every deterministic field of @p stats (all integer
- * counters; host wall-clock measurements are excluded). Two runs of the
- * same (config, traces, budget) must produce equal fingerprints at any
- * sweep thread count, and hot-path refactors must not change them —
- * the golden determinism tests pin a set of these values.
+ * FNV-1a hash over every deterministic field of @p stats: the stat
+ * registry's codec plan linearizes the counters (all fingerprint-
+ * flagged integer statistics; host wall-clock measurements and
+ * configuration echoes are excluded). Two runs of the same (config,
+ * traces, budget) must produce equal fingerprints at any sweep thread
+ * count, and hot-path refactors must not change them — the golden
+ * determinism tests pin a set of these values. Implemented in
+ * sim/stat_registry.cc next to the plan it walks.
  */
 std::uint64_t statsFingerprint(const RunStats &stats);
+
+/**
+ * Write @p text to @p path, "-" meaning stdout: the one dump writer
+ * behind the CLIs' and the bench harness's --csv/--json flags. False
+ * (with a message on stderr) on any write failure.
+ */
+bool writeTextFile(const std::string &path, const std::string &text);
 
 /** The canonical 16-hex-digit rendering of a fingerprint. */
 std::string fingerprintHex(std::uint64_t fp);

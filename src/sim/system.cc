@@ -61,6 +61,23 @@ RunStats::llcMpki() const
                   : 0.0;
 }
 
+double
+RunStats::dramBwUtil() const
+{
+    // Each DRAM access keeps its channel's data bus busy for
+    // busCyclesPerLine core cycles; capacity is one transfer per
+    // channel per cycle. Guarded so zero-instruction placeholder rows
+    // (and pre-registry RunStats with no config echo) read as 0.
+    const double capacity = static_cast<double>(simCycles) *
+                            static_cast<double>(dramChannels);
+    if (capacity <= 0)
+        return 0.0;
+    const double busy =
+        static_cast<double>(dram.totalReads() + dram.writes) *
+        static_cast<double>(dramBusCyclesPerLine);
+    return busy / capacity;
+}
+
 PredictorStats
 RunStats::predTotal() const
 {
@@ -325,6 +342,8 @@ System::collect() const
     }
     s.llc = llc_->stats();
     s.dram = dram_->stats();
+    s.dramChannels = config_.dram.channels;
+    s.dramBusCyclesPerLine = config_.dram.busCyclesPerLine();
     if (prefetcher_ != nullptr)
         s.prefetch = prefetcher_->stats();
     return s;

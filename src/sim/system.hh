@@ -110,6 +110,12 @@ struct RunStats
     PrefetcherStats prefetch;
     std::uint64_t hermesRequestsScheduled = 0;
     std::uint64_t hermesLoadsServed = 0;
+    /** Configuration echoes filled by System::collect() so derived
+     * metrics (dram.bw_util) stay computable from a RunStats alone;
+     * deterministic but excluded from fingerprints to keep the pinned
+     * goldens stable. */
+    std::uint64_t dramChannels = 0;
+    std::uint64_t dramBusCyclesPerLine = 0;
     /** Simulator throughput (host-side; excluded from fingerprints). */
     HostPerf hostPerf;
 
@@ -122,6 +128,9 @@ struct RunStats
     double llcMpki() const;
     /** Aggregate predictor confusion matrix. */
     PredictorStats predTotal() const;
+    /** Fraction of DRAM data-bus capacity spent transferring lines
+     * (reads + writes, all channels); 0 for an empty window. */
+    double dramBwUtil() const;
 };
 
 /**

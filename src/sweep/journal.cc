@@ -6,14 +6,13 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
-#include <initializer_list>
-#include <iterator>
 #include <sstream>
 #include <stdexcept>
 #include <unistd.h>
 
 #include "common/config.hh"
 #include "sim/report.hh"
+#include "sim/stat_registry.hh"
 
 namespace hermes::sweep
 {
@@ -21,26 +20,14 @@ namespace hermes::sweep
 namespace
 {
 
-// The stats serializer below writes every field of these structs as a
-// positional array. If you add a field, update encodeStats(),
-// decodeStats() AND statsFingerprint() together — the loader's
-// fingerprint re-check turns any drift into a load error, and these
-// asserts catch the struct growing before the arrays do. (All-u64
-// structs have no padding, so sizeof is an exact field count.)
-static_assert(sizeof(CoreStats) == 14 * sizeof(std::uint64_t),
-              "CoreStats changed: update the journal codec");
-static_assert(sizeof(CacheStats) == 18 * sizeof(std::uint64_t),
-              "CacheStats changed: update the journal codec");
-static_assert(sizeof(DramStats) == 14 * sizeof(std::uint64_t),
-              "DramStats changed: update the journal codec");
-static_assert(sizeof(PredictorStats) == 4 * sizeof(std::uint64_t),
-              "PredictorStats changed: update the journal codec");
-static_assert(sizeof(BranchStats) == 2 * sizeof(std::uint64_t),
-              "BranchStats changed: update the journal codec");
-static_assert(sizeof(PrefetcherStats) == 3 * sizeof(std::uint64_t),
-              "PrefetcherStats changed: update the journal codec");
-static_assert(sizeof(HostPerf) == sizeof(double) + sizeof(std::uint64_t),
-              "HostPerf changed: update the journal codec");
+/**
+ * Journal format version. 2: the stats object is the registry codec
+ * plan's layout ("dram" split into dram/hermes sections, "cfg"
+ * configuration echoes added); version-1 journals (hand-rolled
+ * 14-element "dram" array) are rejected with a clear version error
+ * rather than a misleading decode failure.
+ */
+constexpr std::uint64_t kJournalVersion = 2;
 
 std::string
 formatDouble(double v)
@@ -53,99 +40,56 @@ formatDouble(double v)
 
 // --- encoding ---------------------------------------------------------
 
-void
-appendArray(std::string &out, const char *key,
-            std::initializer_list<std::uint64_t> vs)
-{
-    out += '"';
-    out += key;
-    out += "\":[";
-    bool first = true;
-    for (std::uint64_t v : vs) {
-        if (!first)
-            out += ',';
-        first = false;
-        out += std::to_string(v);
-    }
-    out += ']';
-}
-
-void
-appendCore(std::string &out, const CoreStats &c)
-{
-    out += '[';
-    const std::uint64_t vs[] = {
-        c.cycles, c.instrsRetired, c.loadsRetired, c.storesRetired,
-        c.branchesRetired, c.branchMispredicts, c.loadsOffChip,
-        c.offChipBlocking, c.offChipNonBlocking, c.loadsServedByHermes,
-        c.stallCyclesOffChip, c.stallCyclesOtherLoad,
-        c.stallCyclesOther, c.stallCyclesEliminable};
-    for (std::size_t i = 0; i < std::size(vs); ++i)
-        out += (i ? "," : "") + std::to_string(vs[i]);
-    out += ']';
-}
-
-void
-appendCache(std::string &out, const char *key, const CacheStats &c)
-{
-    appendArray(out, key,
-                {c.loadLookups, c.loadHits, c.rfoLookups, c.rfoHits,
-                 c.writebackLookups, c.writebackHits, c.prefetchLookups,
-                 c.prefetchDropped, c.prefetchIssued, c.mshrMerges,
-                 c.mshrLatePrefetchHits, c.fills, c.prefetchFills,
-                 c.evictions, c.dirtyEvictions, c.usefulPrefetches,
-                 c.uselessPrefetches, c.rqRejects});
-}
-
+/**
+ * Serialize every raw counter of @p s by walking the stat registry's
+ * codec plan: scalars as "name":value, per-core groups as
+ * array-of-arrays (flat for single-statistic groups), scalar sections
+ * as flat arrays. A counter registered in sim/stat_registry.cc is
+ * journaled with no further work here.
+ */
 std::string
 encodeStats(const RunStats &s)
 {
-    std::string out = "{\"cycles\":" + std::to_string(s.simCycles);
-    out += ",\"core\":[";
-    for (std::size_t i = 0; i < s.core.size(); ++i) {
-        if (i)
+    std::string out = "{";
+    bool first_item = true;
+    for (const StatCodecItem &item :
+         StatRegistry::instance().codecPlan()) {
+        if (!first_item)
             out += ',';
-        appendCore(out, s.core[i]);
+        first_item = false;
+        out += '"' + item.name + "\":";
+        switch (item.kind) {
+        case StatCodecItem::Kind::Scalar:
+            out += std::to_string(item.defs[0]->getU64(s));
+            break;
+        case StatCodecItem::Kind::Group: {
+            const std::size_t n = item.count(s);
+            out += '[';
+            for (std::size_t i = 0; i < n; ++i) {
+                if (i)
+                    out += ',';
+                if (item.defs.size() == 1) {
+                    out += std::to_string(item.defs[0]->getAtU64(s, i));
+                    continue;
+                }
+                out += '[';
+                for (std::size_t j = 0; j < item.defs.size(); ++j)
+                    out += (j ? "," : "") +
+                           std::to_string(item.defs[j]->getAtU64(s, i));
+                out += ']';
+            }
+            out += ']';
+            break;
+        }
+        case StatCodecItem::Kind::Section:
+            out += '[';
+            for (std::size_t j = 0; j < item.defs.size(); ++j)
+                out += (j ? "," : "") +
+                       std::to_string(item.defs[j]->getU64(s));
+            out += ']';
+            break;
+        }
     }
-    out += "],\"branch\":[";
-    for (std::size_t i = 0; i < s.branch.size(); ++i) {
-        out += i ? "," : "";
-        out += '[' + std::to_string(s.branch[i].lookups) + ',' +
-               std::to_string(s.branch[i].mispredicts) + ']';
-    }
-    out += "],\"pred\":[";
-    for (std::size_t i = 0; i < s.predictor.size(); ++i) {
-        const PredictorStats &p = s.predictor[i];
-        out += i ? "," : "";
-        out += '[' + std::to_string(p.truePositives) + ',' +
-               std::to_string(p.falsePositives) + ',' +
-               std::to_string(p.falseNegatives) + ',' +
-               std::to_string(p.trueNegatives) + ']';
-    }
-    out += "],\"finish\":[";
-    for (std::size_t i = 0; i < s.coreFinishCycle.size(); ++i) {
-        out += i ? "," : "";
-        out += std::to_string(s.coreFinishCycle[i]);
-    }
-    out += "],";
-    appendCache(out, "l1", s.l1);
-    out += ',';
-    appendCache(out, "l2", s.l2);
-    out += ',';
-    appendCache(out, "llc", s.llc);
-    out += ',';
-    const DramStats &d = s.dram;
-    appendArray(out, "dram",
-                {d.demandReads, d.prefetchReads, d.hermesReads, d.writes,
-                 d.rowHits, d.rowMisses, d.rowConflicts, d.readMerges,
-                 d.wqForwards, d.hermesIssued, d.hermesMergedIntoExisting,
-                 d.hermesDropped, d.hermesUseful, d.hermesRejected});
-    out += ',';
-    appendArray(out, "pf",
-                {s.prefetch.issued, s.prefetch.useful,
-                 s.prefetch.useless});
-    out += ",\"hsched\":" + std::to_string(s.hermesRequestsScheduled);
-    out += ",\"hserved\":" + std::to_string(s.hermesLoadsServed);
     out += '}';
     return out;
 }
@@ -153,7 +97,8 @@ encodeStats(const RunStats &s)
 std::string
 encodeHeader(std::uint64_t space_fp, std::size_t points)
 {
-    return "{\"hermes_journal\":1,\"space\":\"" +
+    return "{\"hermes_journal\":" + std::to_string(kJournalVersion) +
+           ",\"space\":\"" +
            fingerprintHex(space_fp) +
            "\",\"points\":" + std::to_string(points) + "}";
 }
@@ -476,134 +421,49 @@ asHexFp(const Jv &v)
     return parsed;
 }
 
-/** The array-of-u64 decode used by every stats sub-struct. */
-void
-fill(const Jv &arr, std::uint64_t *out, std::size_t n, const char *what)
-{
-    if (arr.kind != Jv::Kind::Arr || arr.items.size() != n)
-        fail(std::string("bad ") + what + " array");
-    for (std::size_t i = 0; i < n; ++i)
-        out[i] = asU64(arr.items[i]);
-}
-
-CacheStats
-decodeCache(const Jv &arr)
-{
-    std::uint64_t v[18];
-    fill(arr, v, 18, "cache");
-    CacheStats c;
-    c.loadLookups = v[0];
-    c.loadHits = v[1];
-    c.rfoLookups = v[2];
-    c.rfoHits = v[3];
-    c.writebackLookups = v[4];
-    c.writebackHits = v[5];
-    c.prefetchLookups = v[6];
-    c.prefetchDropped = v[7];
-    c.prefetchIssued = v[8];
-    c.mshrMerges = v[9];
-    c.mshrLatePrefetchHits = v[10];
-    c.fills = v[11];
-    c.prefetchFills = v[12];
-    c.evictions = v[13];
-    c.dirtyEvictions = v[14];
-    c.usefulPrefetches = v[15];
-    c.uselessPrefetches = v[16];
-    c.rqRejects = v[17];
-    return c;
-}
-
+/**
+ * The inverse plan walk: every raw counter decodes through its
+ * registry setter, and the record-level fingerprint re-check in
+ * decodeRecord() catches any encode/decode drift.
+ */
 RunStats
 decodeStats(const Jv &obj)
 {
     RunStats s;
-    s.simCycles = asU64(member(obj, "cycles"));
-
-    const Jv &cores = member(obj, "core");
-    if (cores.kind != Jv::Kind::Arr)
-        fail("bad core array");
-    for (const Jv &e : cores.items) {
-        std::uint64_t v[14];
-        fill(e, v, 14, "core");
-        CoreStats c;
-        c.cycles = v[0];
-        c.instrsRetired = v[1];
-        c.loadsRetired = v[2];
-        c.storesRetired = v[3];
-        c.branchesRetired = v[4];
-        c.branchMispredicts = v[5];
-        c.loadsOffChip = v[6];
-        c.offChipBlocking = v[7];
-        c.offChipNonBlocking = v[8];
-        c.loadsServedByHermes = v[9];
-        c.stallCyclesOffChip = v[10];
-        c.stallCyclesOtherLoad = v[11];
-        c.stallCyclesOther = v[12];
-        c.stallCyclesEliminable = v[13];
-        s.core.push_back(c);
+    for (const StatCodecItem &item :
+         StatRegistry::instance().codecPlan()) {
+        const Jv &v = member(obj, item.name.c_str());
+        switch (item.kind) {
+        case StatCodecItem::Kind::Scalar:
+            item.defs[0]->setU64(s, asU64(v));
+            break;
+        case StatCodecItem::Kind::Group: {
+            if (v.kind != Jv::Kind::Arr)
+                fail("bad " + item.name + " array");
+            item.resize(s, v.items.size());
+            for (std::size_t i = 0; i < v.items.size(); ++i) {
+                if (item.defs.size() == 1) {
+                    item.defs[0]->setAtU64(s, i, asU64(v.items[i]));
+                    continue;
+                }
+                const Jv &e = v.items[i];
+                if (e.kind != Jv::Kind::Arr ||
+                    e.items.size() != item.defs.size())
+                    fail("bad " + item.name + " array");
+                for (std::size_t j = 0; j < item.defs.size(); ++j)
+                    item.defs[j]->setAtU64(s, i, asU64(e.items[j]));
+            }
+            break;
+        }
+        case StatCodecItem::Kind::Section:
+            if (v.kind != Jv::Kind::Arr ||
+                v.items.size() != item.defs.size())
+                fail("bad " + item.name + " array");
+            for (std::size_t j = 0; j < item.defs.size(); ++j)
+                item.defs[j]->setU64(s, asU64(v.items[j]));
+            break;
+        }
     }
-
-    const Jv &branches = member(obj, "branch");
-    if (branches.kind != Jv::Kind::Arr)
-        fail("bad branch array");
-    for (const Jv &e : branches.items) {
-        std::uint64_t v[2];
-        fill(e, v, 2, "branch");
-        BranchStats b;
-        b.lookups = v[0];
-        b.mispredicts = v[1];
-        s.branch.push_back(b);
-    }
-
-    const Jv &preds = member(obj, "pred");
-    if (preds.kind != Jv::Kind::Arr)
-        fail("bad pred array");
-    for (const Jv &e : preds.items) {
-        std::uint64_t v[4];
-        fill(e, v, 4, "pred");
-        PredictorStats p;
-        p.truePositives = v[0];
-        p.falsePositives = v[1];
-        p.falseNegatives = v[2];
-        p.trueNegatives = v[3];
-        s.predictor.push_back(p);
-    }
-
-    const Jv &finish = member(obj, "finish");
-    if (finish.kind != Jv::Kind::Arr)
-        fail("bad finish array");
-    for (const Jv &e : finish.items)
-        s.coreFinishCycle.push_back(asU64(e));
-
-    s.l1 = decodeCache(member(obj, "l1"));
-    s.l2 = decodeCache(member(obj, "l2"));
-    s.llc = decodeCache(member(obj, "llc"));
-
-    std::uint64_t d[14];
-    fill(member(obj, "dram"), d, 14, "dram");
-    s.dram.demandReads = d[0];
-    s.dram.prefetchReads = d[1];
-    s.dram.hermesReads = d[2];
-    s.dram.writes = d[3];
-    s.dram.rowHits = d[4];
-    s.dram.rowMisses = d[5];
-    s.dram.rowConflicts = d[6];
-    s.dram.readMerges = d[7];
-    s.dram.wqForwards = d[8];
-    s.dram.hermesIssued = d[9];
-    s.dram.hermesMergedIntoExisting = d[10];
-    s.dram.hermesDropped = d[11];
-    s.dram.hermesUseful = d[12];
-    s.dram.hermesRejected = d[13];
-
-    std::uint64_t pf[3];
-    fill(member(obj, "pf"), pf, 3, "pf");
-    s.prefetch.issued = pf[0];
-    s.prefetch.useful = pf[1];
-    s.prefetch.useless = pf[2];
-
-    s.hermesRequestsScheduled = asU64(member(obj, "hsched"));
-    s.hermesLoadsServed = asU64(member(obj, "hserved"));
     return s;
 }
 
@@ -707,10 +567,13 @@ readJournal(const std::string &path, bool *truncated_tail)
             if (obj.find("hermes_journal") != nullptr) {
                 const std::uint64_t version =
                     asU64(member(obj, "hermes_journal"));
-                if (version != 1)
+                if (version != kJournalVersion)
                     throw std::runtime_error(
                         "journal: unsupported journal version " +
-                        std::to_string(version) + " in " + path);
+                        std::to_string(version) + " in " + path +
+                        " (this build reads version " +
+                        std::to_string(kJournalVersion) +
+                        "; re-run the sweep to regenerate it)");
                 JournalSegment seg;
                 seg.spaceFp = asHexFp(member(obj, "space"));
                 seg.points = asU64(member(obj, "points"));

@@ -10,13 +10,18 @@
  * fingerprints — to an unsharded run.
  *
  * File layout (one JSON object per line):
- *   {"hermes_journal":1,"space":"<hex16>","points":N}     <- header
+ *   {"hermes_journal":2,"space":"<hex16>","points":N}     <- header
  *   {"i":3,"label":"...","point":"<hex16>","fp":"<hex16>",
  *    "wall":0.12,"host":[s,instrs],"stats":{...}}          <- record
  *
  * A journal holds one or more *segments* (header + records); the bench
  * harness writes one segment per runGrid() call so whole figure drivers
  * shard and resume for free, while hermes_sweep uses a single segment.
+ *
+ * The "stats" object is not hand-rolled: encode and decode both walk
+ * the stat registry's codec plan (sim/stat_registry.hh), so a counter
+ * registered there is journaled, fingerprinted and round-tripped with
+ * no change in this file.
  *
  * Integrity: "space" fingerprints the entire scenario space (every
  * point's label, full registry-rendered config, traces and budget), so

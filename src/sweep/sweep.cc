@@ -255,26 +255,40 @@ SweepEngine::run(const std::vector<GridPoint> &grid,
 }
 
 std::string
-toCsv(const std::vector<PointResult> &results, bool with_host_perf)
+toCsv(const std::vector<PointResult> &results,
+      const std::vector<StatColumn> &columns)
 {
-    std::string out = csvHeader(with_host_perf) + "\n";
+    std::string out = csvHeader(columns) + "\n";
     for (const auto &r : results)
-        out += formatCsvRow(r.label, r.stats, with_host_perf) + "\n";
+        out += formatCsvRow(r.label, r.stats, columns) + "\n";
     return out;
 }
 
 std::string
-toJson(const std::vector<PointResult> &results, bool with_host_perf)
+toCsv(const std::vector<PointResult> &results, bool with_host_perf)
+{
+    return toCsv(results, defaultStatColumns(with_host_perf));
+}
+
+std::string
+toJson(const std::vector<PointResult> &results,
+       const std::vector<StatColumn> &columns)
 {
     std::string out = "[";
     for (std::size_t i = 0; i < results.size(); ++i) {
         if (i)
             out += ",";
         out += "\n  " + formatJsonRow(results[i].label, results[i].stats,
-                                      with_host_perf);
+                                      columns);
     }
     out += results.empty() ? "]" : "\n]";
     return out;
+}
+
+std::string
+toJson(const std::vector<PointResult> &results, bool with_host_perf)
+{
+    return toJson(results, defaultStatColumns(with_host_perf));
 }
 
 std::uint64_t

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "sim/simulator.hh"
+#include "sim/stat_registry.hh"
 #include "sim/system.hh"
 #include "trace/suite.hh"
 
@@ -148,9 +149,17 @@ class SweepEngine
 std::string toCsv(const std::vector<PointResult> &results,
                   bool with_host_perf = false);
 
+/** The same dump over a registry-selected column list (--stats). */
+std::string toCsv(const std::vector<PointResult> &results,
+                  const std::vector<StatColumn> &columns);
+
 /** JSON array of formatJsonRow() objects, grid order. */
 std::string toJson(const std::vector<PointResult> &results,
                    bool with_host_perf = false);
+
+/** The same dump over a registry-selected column list (--stats). */
+std::string toJson(const std::vector<PointResult> &results,
+                   const std::vector<StatColumn> &columns);
 
 /**
  * FNV-1a over (index, statsFingerprint) of every result in grid order:

@@ -11,6 +11,7 @@
 #include <sstream>
 
 #include "sim/report.hh"
+#include "sim/stat_registry.hh"
 #include "sweep/journal.hh"
 #include "sweep/sweep.hh"
 
@@ -333,6 +334,27 @@ TEST(Journal, RecordedForDifferentSpaceIsRejected)
     std::remove(path.c_str());
 }
 
+TEST(Journal, OldFormatVersionIsRejectedWithAClearError)
+{
+    // A version-1 journal (pre-registry stats layout) must fail as an
+    // incompatible version, not as a misleading decode error.
+    const std::string path = tempPath("oldversion.jsonl");
+    spit(path,
+         "{\"hermes_journal\":1,\"space\":\"0000000000000001\","
+         "\"points\":2}\n"
+         "{\"i\":0}\n");
+    try {
+        sweep::readJournal(path);
+        FAIL() << "old journal version must be rejected";
+    } catch (const std::runtime_error &e) {
+        EXPECT_NE(std::string(e.what()).find(
+                      "unsupported journal version 1"),
+                  std::string::npos)
+            << e.what();
+    }
+    std::remove(path.c_str());
+}
+
 TEST(Journal, EmptyOrHeaderlessFilesAreRejected)
 {
     const std::string path = tempPath("empty.jsonl");
@@ -403,6 +425,74 @@ TEST(Journal, MultiSegmentJournalsRoundTrip)
     const auto again = sweep::readJournal(path);
     ASSERT_EQ(again.size(), 2u);
     EXPECT_EQ(sweep::journalText(again), sweep::journalText(segments));
+    std::remove(path.c_str());
+}
+
+TEST(Journal, CodecRoundTripsEveryRegisteredCounter)
+{
+    // Distinct values in every raw counter, written through the
+    // registry setters: RunStats -> journal record -> RunStats must be
+    // an identity for every registered key (a swapped or dropped field
+    // in the codec plan cannot hide behind equal values).
+    const auto &reg = StatRegistry::instance();
+    RunStats s;
+    std::uint64_t v = 1;
+    for (const StatCodecItem &item : reg.codecPlan()) {
+        switch (item.kind) {
+        case StatCodecItem::Kind::Scalar:
+            item.defs[0]->setU64(s, v++);
+            break;
+        case StatCodecItem::Kind::Group:
+            item.resize(s, 3);
+            for (std::size_t i = 0; i < 3; ++i)
+                for (const StatDef *d : item.defs)
+                    d->setAtU64(s, i, v++);
+            break;
+        case StatCodecItem::Kind::Section:
+            for (const StatDef *d : item.defs)
+                d->setU64(s, v++);
+            break;
+        }
+    }
+    s.hostPerf.seconds = 0.1259765625; // exact in binary
+    s.hostPerf.instrs = 777;
+
+    sweep::JournalSegment seg;
+    seg.spaceFp = 42;
+    seg.points = 1;
+    sweep::JournalRecord rec;
+    rec.index = 0;
+    rec.pointFp = 7;
+    rec.result.index = 0;
+    rec.result.label = "synthetic";
+    rec.result.stats = s;
+    rec.result.wallSeconds = 0.5;
+    seg.records.push_back(rec);
+
+    const std::string path = tempPath("codec.jsonl");
+    spit(path, sweep::journalText({seg}));
+    const auto loaded = sweep::readJournal(path);
+    ASSERT_EQ(loaded.size(), 1u);
+    ASSERT_EQ(loaded[0].records.size(), 1u);
+    const RunStats &d = loaded[0].records[0].result.stats;
+
+    for (const StatCodecItem &item : reg.codecPlan()) {
+        if (item.kind == StatCodecItem::Kind::Group) {
+            ASSERT_EQ(item.count(d), 3u) << item.name;
+            for (std::size_t i = 0; i < 3; ++i)
+                for (const StatDef *def : item.defs)
+                    EXPECT_EQ(def->getAtU64(d, i),
+                              def->getAtU64(s, i))
+                        << def->key << "[" << i << "]";
+            continue;
+        }
+        for (const StatDef *def : item.defs)
+            EXPECT_EQ(def->getU64(d), def->getU64(s)) << def->key;
+    }
+    EXPECT_EQ(d.hostPerf.seconds, s.hostPerf.seconds);
+    EXPECT_EQ(d.hostPerf.instrs, s.hostPerf.instrs);
+    EXPECT_EQ(loaded[0].records[0].result.wallSeconds, 0.5);
+    EXPECT_EQ(statsFingerprint(d), statsFingerprint(s));
     std::remove(path.c_str());
 }
 

@@ -1,0 +1,64 @@
+#!/usr/bin/env bash
+# Docs-freshness gate for the README statistics reference: the fenced
+# block under "### Statistics reference" must be the verbatim output
+# of `hermes_run --list-stats`. Run after registering new statistics
+# (regenerate the block with that command); CI's determinism job runs
+# this against the freshly built binary.
+#
+# Usage: tools/check_stats_docs.sh [path/to/hermes_run]
+#   (default binary: build/hermes_run relative to the repo root)
+
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+run_bin="${1:-$repo_root/build/hermes_run}"
+
+actual="$(mktemp)"
+expected="$(mktemp)"
+trap 'rm -f "$actual" "$expected"' EXIT
+
+"$run_bin" --list-stats >"$actual"
+
+# The reference block is the first bare ``` fence after the heading
+# (the preceding example block is fenced as ```sh).
+python3 - "$repo_root/README.md" >"$expected" <<'EOF'
+import sys
+
+lines = open(sys.argv[1]).read().splitlines(keepends=True)
+in_section = False
+in_block = capture = found = False
+for line in lines:
+    stripped = line.rstrip("\n")
+    if line.startswith("### Statistics reference"):
+        in_section = True
+        continue
+    if not in_section:
+        continue
+    if not in_block:
+        if stripped.startswith("```"):
+            # Fences toggle; only the bare ``` fence opens the
+            # reference block (examples are fenced as ```sh).
+            in_block = True
+            capture = stripped == "```" and not found
+            found = found or capture
+        continue
+    if stripped == "```":
+        if capture:
+            break
+        in_block = capture = False
+        continue
+    if capture:
+        sys.stdout.write(line)
+if not found:
+    sys.exit("README.md: no statistics reference block found")
+EOF
+
+if ! diff -u "$expected" "$actual"; then
+    echo >&2
+    echo "README statistics reference is stale: regenerate the" >&2
+    echo "\"### Statistics reference\" code block from" >&2
+    echo "\`hermes_run --list-stats\` output." >&2
+    exit 1
+fi
+echo "README statistics reference is up to date" \
+     "($(wc -l <"$actual" | tr -d ' ') keys)"
