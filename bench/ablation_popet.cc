@@ -6,6 +6,7 @@
  * reports accuracy/coverage (predictor-only) and Hermes speedup on the
  * Pythia baseline, quantifying how much each design decision buys.
  */
+// figmap: DESIGN.md ablations | POPET buffer/weights/thresholds knobs
 
 #include <cstdio>
 

@@ -8,6 +8,7 @@
  * large majority (~71%) of the remaining off-chip loads block
  * retirement.
  */
+// figmap: Fig. 2 | blocking vs non-blocking off-chip loads, no-pf vs Pythia
 
 #include <cstdio>
 

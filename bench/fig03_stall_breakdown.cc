@@ -7,6 +7,7 @@
  * Paper shape: ~147 stall cycles per off-chip load on average, ~40% of
  * which the hierarchy traversal is responsible for.
  */
+// figmap: Fig. 3 | stall cycles per blocking off-chip load, Pythia baseline
 
 #include <cstdio>
 

@@ -9,6 +9,7 @@
  * Hermes alone captures a large fraction of Pythia's gain; every
  * prefetcher gains 8-13% from Ideal Hermes.
  */
+// figmap: Fig. 4 | Ideal Hermes alone and on top of each prefetcher
 
 #include <cstdio>
 

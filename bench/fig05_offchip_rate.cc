@@ -7,6 +7,7 @@
  * traffic (~8 MPKI average), which is what makes off-chip prediction a
  * skewed-class learning problem.
  */
+// figmap: Fig. 5 | off-chip load fraction and LLC MPKI per category
 
 #include <cstdio>
 

@@ -7,6 +7,7 @@
  * Paper shape: POPET 77.1% accuracy / 74.3% coverage; HMP 47% / 22.3%;
  * TTP 16.6% / 94.8% (highest coverage, lowest accuracy).
  */
+// figmap: Fig. 9 | predictor-only accuracy/coverage: POPET vs HMP vs TTP
 
 #include <cstdio>
 

@@ -7,6 +7,7 @@
  * 14-48% coverage); the stacked five-feature POPET beats every
  * individual feature on both metrics.
  */
+// figmap: Fig. 10 | popet.feature_mask: individual and stacked features
 
 #include <cstdio>
 #include <string>

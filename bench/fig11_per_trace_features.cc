@@ -7,6 +7,7 @@
  * changes from trace to trace, which is the argument for multi-feature
  * learning.
  */
+// figmap: Fig. 11 | popet.feature_mask: per-trace single-feature runs
 
 #include <cstdio>
 

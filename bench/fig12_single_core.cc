@@ -8,6 +8,7 @@
  * Pythia+Hermes-P 1.25, Pythia+Hermes-O 1.26; Hermes alone captures
  * roughly half of Pythia's gain at 1/5 the storage.
  */
+// figmap: Fig. 12 | Hermes-P/O, Pythia, Pythia+Hermes-P/O per category
 
 #include <cstdio>
 

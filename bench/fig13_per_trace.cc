@@ -8,6 +8,7 @@
  * Hermes beats Pythia on irregular traces and loses on prefetch-
  * friendly ones; the combination is the best of both nearly everywhere.
  */
+// figmap: Fig. 13 | per-trace speedups: Hermes-O, Pythia, Pythia+Hermes-O
 
 #include <algorithm>
 #include <cstdio>

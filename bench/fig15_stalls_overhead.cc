@@ -9,6 +9,7 @@
  * adds ~5.5% memory requests vs Pythia's ~38.5% — about 0.5% extra
  * requests per 1% speedup for Hermes vs ~2% for Pythia.
  */
+// figmap: Fig. 15 | stall-cycle reduction and extra main-memory requests
 
 #include <cstdio>
 

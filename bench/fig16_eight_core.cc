@@ -7,6 +7,7 @@
  * Paper shape: Pythia 1.123, +HMP 1.129, +TTP 1.102 (TTP *hurts* in
  * the bandwidth-constrained system), +POPET 1.174.
  */
+// figmap: Fig. 16 | 8-core mixes with Hermes-HMP/TTP/POPET
 
 #include <cstdio>
 

@@ -7,6 +7,7 @@
  * because its accurate requests waste far less bandwidth than
  * speculative prefetching.
  */
+// figmap: Fig. 17a | dram.mtps 200-12800
 
 #include <cstdio>
 

@@ -6,6 +6,7 @@
  * Paper shape: Hermes improves every baseline prefetcher (by 5.1-7.7%
  * for Hermes-O).
  */
+// figmap: Fig. 17b | Hermes-P/O on each baseline prefetcher
 
 #include <cstdio>
 

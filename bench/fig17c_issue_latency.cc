@@ -6,6 +6,7 @@
  * Paper shape: the benefit shrinks as issue latency grows but remains
  * positive even at 24 cycles (+5.7% at 0, +3.6% at 24).
  */
+// figmap: Fig. 17c | hermes.issue_latency 0-24 cycles
 
 #include <cstdio>
 

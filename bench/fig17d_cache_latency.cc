@@ -8,6 +8,7 @@
  * 40 cycles to +6.2% at 65) — the more on-chip latency there is to
  * hide, the more Hermes helps.
  */
+// figmap: Fig. 17d | llc.latency 25-50 cycles
 
 #include <cstdio>
 

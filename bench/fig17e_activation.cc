@@ -7,6 +7,7 @@
  * speedup peaks slightly below the chosen operating point (-18), which
  * balances accuracy (bandwidth) against coverage.
  */
+// figmap: Fig. 17e | popet.act_threshold -38..2
 
 #include <cstdio>
 

@@ -7,6 +7,7 @@
  * Paper shape: Hermes adds ~3.6% dynamic power vs Pythia's ~8.7%;
  * Hermes on top of Pythia adds only ~1.5% more.
  */
+// figmap: Fig. 18 | dynamic power breakdown: Hermes, Pythia, both
 
 #include <cstdio>
 

@@ -6,6 +6,7 @@
  * 256 entries, +5.3% at 1024) — bigger windows tolerate more latency,
  * slightly shrinking Hermes's edge.
  */
+// figmap: Fig. 19 | core.rob_size 256-1024
 
 #include <cstdio>
 

@@ -7,6 +7,7 @@
  * as the LLC grows (fewer off-chip loads remain), from ~5.4% at 3MB to
  * ~1.3% at 24MB.
  */
+// figmap: Fig. 20 | per-core LLC size 3-24 MB
 
 #include <cstdio>
 

@@ -1,16 +1,23 @@
 /**
  * @file
  * Fig. 21 (Appendix B.3): POPET accuracy/coverage when Hermes runs with
- * each baseline prefetcher and with no prefetcher at all.
+ * every registered prefetcher and with no prefetcher at all — the
+ * paper's five baselines plus any contender landed through the model
+ * registry since (hermes_run --list-models). A prefetcher added in its
+ * own translation unit appears in this figure with zero edits here.
  *
  * Paper shape: accuracy/coverage vary with the prefetcher (73-80% /
  * 66-85%); without any prefetcher POPET is clearly best (88.9% / 93.6%)
  * because prefetch traffic perturbs off-chip behaviour.
  */
+// figmap: Fig. 21 | POPET accuracy/coverage on every registered prefetcher
 
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "harness/harness.hh"
+#include "sim/model_registry.hh"
 
 using namespace hermes;
 using namespace hermes::bench;
@@ -21,24 +28,21 @@ main(int argc, char **argv)
     initCli(argc, argv);
     const SimBudget b = budget(120'000, 300'000);
 
-    struct Named
-    {
-        const char *name;
-        PrefetcherKind pf;
-    };
-    const Named rows[] = {
-        {"Pythia+Hermes", PrefetcherKind::Pythia},
-        {"Bingo+Hermes", PrefetcherKind::Bingo},
-        {"SPP+Hermes", PrefetcherKind::Spp},
-        {"MLOP+Hermes", PrefetcherKind::Mlop},
-        {"SMS+Hermes", PrefetcherKind::Sms},
-        {"Hermes alone", PrefetcherKind::None},
-    };
+    // Every registered prefetcher, "none" last: the paper's panels put
+    // the prefetcher-free system at the end as the reference point.
+    std::vector<std::string> pfs;
+    for (const std::string &name :
+         ModelRegistry::instance().names(ModelKind::Prefetcher))
+        if (name != "none")
+            pfs.push_back(name);
+    pfs.push_back("none");
 
     Table t({"config", "accuracy", "coverage"});
-    for (const auto &row : rows) {
+    for (const std::string &pf : pfs) {
+        const std::string label =
+            pf == "none" ? "Hermes alone" : pf + "+Hermes";
         const auto rs = runSuite(
-            withHermes(cfgPrefetcher(row.pf), PredictorKind::Popet, 6), b);
+            withHermes(cfgPrefetcher(pf), "popet", 6), b);
         PredictorStats all;
         for (const auto &r : rs) {
             const PredictorStats p = r.stats.predTotal();
@@ -47,7 +51,7 @@ main(int argc, char **argv)
             all.falseNegatives += p.falseNegatives;
             all.trueNegatives += p.trueNegatives;
         }
-        t.addRow({row.name, Table::pct(all.accuracy()),
+        t.addRow({label, Table::pct(all.accuracy()),
                   Table::pct(all.coverage())});
     }
     t.print("Fig. 21: POPET accuracy/coverage vs baseline prefetcher");

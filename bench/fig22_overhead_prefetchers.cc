@@ -6,6 +6,7 @@
  * Paper shape: adding Hermes costs only 5.8-15.6% extra requests on
  * top of each prefetcher.
  */
+// figmap: Fig. 22 | main-memory request overhead of prefetchers +/- Hermes
 
 #include <cstdio>
 

@@ -381,6 +381,16 @@ cfgPrefetcher(PrefetcherKind pf)
 }
 
 SystemConfig
+cfgPrefetcher(const std::string &pf)
+{
+    SystemConfig cfg = SystemConfig::baseline(1);
+    // The registry route: resolves registry-only prefetchers too, and
+    // rejects typos with a nearest-name suggestion.
+    ParamRegistry::instance().apply(cfg, "prefetcher", pf);
+    return cfg;
+}
+
+SystemConfig
 cfgBaseline()
 {
     return cfgPrefetcher(PrefetcherKind::Pythia);
@@ -390,6 +400,16 @@ SystemConfig
 withHermes(SystemConfig cfg, PredictorKind pred, Cycle issue_latency)
 {
     cfg.predictor = pred;
+    cfg.hermesIssueEnabled = true;
+    cfg.hermesIssueLatency = issue_latency;
+    return cfg;
+}
+
+SystemConfig
+withHermes(SystemConfig cfg, const std::string &pred,
+           Cycle issue_latency)
+{
+    ParamRegistry::instance().apply(cfg, "predictor", pred);
     cfg.hermesIssueEnabled = true;
     cfg.hermesIssueLatency = issue_latency;
     return cfg;

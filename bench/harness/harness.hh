@@ -123,10 +123,22 @@ SimBudget budget(std::uint64_t warmup = 60'000,
 /** Named baseline configurations (single core unless stated). */
 SystemConfig cfgNoPrefetch();
 SystemConfig cfgPrefetcher(PrefetcherKind pf);
+/**
+ * Prefetcher by registered model name (see hermes_run --list-models);
+ * reaches registry-only prefetchers the enum overload cannot.
+ */
+SystemConfig cfgPrefetcher(const std::string &pf);
 /** Pythia baseline (the paper's Table 4 system). */
 SystemConfig cfgBaseline();
 /** Add Hermes with the given predictor to a config. */
 SystemConfig withHermes(SystemConfig cfg, PredictorKind pred,
+                        Cycle issue_latency = 6);
+/**
+ * Hermes with a predictor by registered model name — the registry
+ * route, so drivers can sweep every contender including ones that have
+ * no PredictorKind enumerator.
+ */
+SystemConfig withHermes(SystemConfig cfg, const std::string &pred,
                         Cycle issue_latency = 6);
 /** Predictor observing loads but never issuing requests. */
 SystemConfig withPredictorOnly(SystemConfig cfg, PredictorKind pred);

@@ -5,6 +5,7 @@
  * trace generation. These guard against performance regressions in the
  * structures every experiment exercises millions of times.
  */
+// figmap: (perf) | google-benchmark microbenchmarks of hot simulator ops
 
 #include <benchmark/benchmark.h>
 

@@ -16,6 +16,7 @@
  * single-thread figure comparable across commits. CI uploads the JSON
  * artifact so the throughput trend is visible per commit.
  */
+// figmap: (perf) | single-thread simulated-MIPS throughput gate
 
 #include <cstdio>
 #include <cstdlib>

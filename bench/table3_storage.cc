@@ -3,6 +3,7 @@
  * Table 3: storage budget of Hermes (POPET weight tables + page buffer
  * + per-LQ-entry metadata). Paper total: 4.0 KB per core.
  */
+// figmap: Table 3 | Hermes per-core storage budget (POPET + metadata)
 
 #include <cstdio>
 

@@ -4,6 +4,7 @@
  * Paper: HMP 11KB, TTP 1536KB, Pythia 25.5KB, Bingo 46KB, SPP+PPF
  * 39.3KB, MLOP 8KB, SMS 20KB, Hermes+POPET 4KB.
  */
+// figmap: Table 6 | storage overhead of every evaluated mechanism
 
 #include <cstdio>
 

@@ -18,7 +18,11 @@ lowestSetBit(std::uint64_t word)
 
 Cache::Cache(CacheParams params)
     : params_(std::move(params)),
-      repl_(makeReplacement(params_.repl, params_.sets, params_.ways)),
+      repl_(params_.replFactory
+                ? params_.replFactory(params_.sets, params_.ways)
+                : makeReplacement(params_.repl, params_.sets,
+                                  params_.ways)),
+      customRepl_(static_cast<bool>(params_.replFactory)),
       tags_(static_cast<std::size_t>(params_.sets) * params_.ways,
             kInvalidTag),
       lineFlags_(static_cast<std::size_t>(params_.sets) * params_.ways, 0),
@@ -135,6 +139,10 @@ Cache::replOnHit(std::uint32_t set, std::uint32_t way, Addr pc,
                  AccessType type)
 {
     ReplacementPolicy *p = repl_.get();
+    if (customRepl_) {
+        p->onHit(set, way, pc, type);
+        return;
+    }
     switch (params_.repl) {
       case ReplKind::Lru:
         static_cast<LruPolicy *>(p)->LruPolicy::onHit(set, way, pc, type);
@@ -155,6 +163,10 @@ Cache::replOnInsert(std::uint32_t set, std::uint32_t way, Addr pc,
                     AccessType type)
 {
     ReplacementPolicy *p = repl_.get();
+    if (customRepl_) {
+        p->onInsert(set, way, pc, type);
+        return;
+    }
     switch (params_.repl) {
       case ReplKind::Lru:
         static_cast<LruPolicy *>(p)->LruPolicy::onInsert(set, way, pc,
@@ -175,6 +187,10 @@ void
 Cache::replOnEvict(std::uint32_t set, std::uint32_t way)
 {
     ReplacementPolicy *p = repl_.get();
+    if (customRepl_) {
+        p->onEvict(set, way);
+        return;
+    }
     switch (params_.repl) {
       case ReplKind::Lru:
         static_cast<LruPolicy *>(p)->LruPolicy::onEvict(set, way);
@@ -192,6 +208,8 @@ std::uint32_t
 Cache::replVictim(std::uint32_t set)
 {
     ReplacementPolicy *p = repl_.get();
+    if (customRepl_)
+        return p->victim(set);
     switch (params_.repl) {
       case ReplKind::Lru:
         return static_cast<LruPolicy *>(p)->LruPolicy::victim(set);

@@ -65,6 +65,16 @@ struct CacheParams
     /** Max tag lookups per cycle per queue class. */
     std::uint32_t lookupsPerCycle = 4;
     ReplKind repl = ReplKind::Lru;
+    /**
+     * Registry-model override: when set, the cache builds its policy
+     * through this factory (sets, ways) and dispatches virtually
+     * instead of through the sealed ReplKind classes. Populated by
+     * System for registry-selected policies so cache/ never depends on
+     * sim/.
+     */
+    std::function<std::unique_ptr<ReplacementPolicy>(std::uint32_t,
+                                                     std::uint32_t)>
+        replFactory;
 
     std::uint64_t sizeBytes() const
     {
@@ -229,6 +239,8 @@ class Cache final : public MemDevice, public MemClient
 
     CacheParams params_;
     std::unique_ptr<ReplacementPolicy> repl_;
+    /** Policy came from params_.replFactory: dispatch virtually. */
+    bool customRepl_ = false;
 
     // Flat tag/metadata store: tags_[set*ways + way].
     std::vector<Addr> tags_;

@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "common/config.hh"
+#include "sim/model_registry.hh"
 #include "sim/param_registry.hh"
 #include "sim/report.hh"
 #include "sim/simulator.hh"
@@ -78,6 +79,8 @@ usage(const char *argv0, int exit_code)
         "  --list           predictors, prefetchers, replacement policies,\n"
         "                   suites and all parameters\n"
         "  --list-params    parameter table only\n"
+        "  --list-models    registered models (predictors, prefetchers,\n"
+        "                   replacement policies) with their knobs\n"
         "  --list-stats     statistics table (key, type, aggregation,\n"
         "                   fingerprint flag, description)\n"
         "  -h, --help       this message\n",
@@ -160,6 +163,10 @@ parseCli(int argc, char **argv)
         } else if (arg == "--list-params") {
             std::printf("%s",
                         ParamRegistry::instance().describe().c_str());
+            std::exit(0);
+        } else if (arg == "--list-models") {
+            std::printf("%s",
+                        ModelRegistry::instance().describe().c_str());
             std::exit(0);
         } else if (arg == "--list-stats") {
             std::printf("%s",
@@ -327,8 +334,8 @@ main(int argc, char **argv)
             std::printf("scenario %s: %d core(s), prefetcher=%s, "
                         "predictor=%s, hermes=%s\n",
                         opt.label.c_str(), cfg.numCores,
-                        prefetcherKindName(cfg.prefetcher),
-                        predictorKindName(cfg.predictor),
+                        cfg.prefetcherName().c_str(),
+                        cfg.predictorName().c_str(),
                         cfg.hermesIssueEnabled ? "on" : "off");
             std::printf("  cycles %llu  instrs %llu  ipc0 %.4f  "
                         "llc_mpki %.3f\n",

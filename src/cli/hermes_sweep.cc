@@ -34,6 +34,7 @@
 #include <vector>
 
 #include "common/config.hh"
+#include "sim/model_registry.hh"
 #include "sim/param_registry.hh"
 #include "sim/report.hh"
 #include "sim/stat_registry.hh"
@@ -98,6 +99,8 @@ usage(const char *argv0, int exit_code)
         "  --list-grid      print the expanded grid and its space\n"
         "                   fingerprint, then exit\n"
         "  --list           scenario-space discovery listing\n"
+        "  --list-models    registered models (predictors, prefetchers,\n"
+        "                   replacement policies) with their knobs\n"
         "  --list-stats     statistics table (key, type, aggregation,\n"
         "                   fingerprint flag, description)\n"
         "  -h, --help       this message\n",
@@ -170,6 +173,10 @@ parseCli(int argc, char **argv)
             usage(argv[0], 0);
         } else if (arg == "--list") {
             std::printf("%s", describeScenarioSpace().c_str());
+            std::exit(0);
+        } else if (arg == "--list-models") {
+            std::printf("%s",
+                        ModelRegistry::instance().describe().c_str());
             std::exit(0);
         } else if (arg == "--list-stats") {
             std::printf("%s",

@@ -33,6 +33,13 @@ std::optional<bool> parseBoolWord(const std::string &s);
  */
 std::optional<std::uint64_t> parseSizeBytes(const std::string &s);
 
+/**
+ * Levenshtein distance between two strings. Shared by every registry
+ * (params, stats, models) to turn "unknown key" errors into
+ * "did you mean ...?" suggestions.
+ */
+std::size_t editDistance(const std::string &a, const std::string &b);
+
 /** Ordered key=value store with typed accessors. */
 class Config
 {

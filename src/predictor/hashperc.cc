@@ -1,0 +1,186 @@
+/**
+ * @file
+ * "hashperc": a table-free hashed-perceptron off-chip predictor
+ * variant, landed entirely through the model registry (no enum, no
+ * SystemConfig field, no System wiring — this file is the whole
+ * model).
+ *
+ * Where POPET hashes each program feature into its own weight table
+ * and tracks first accesses in a page buffer, hashperc folds a
+ * configurable number of feature hashes into ONE shared weight table
+ * (the "table-free" signature: no per-feature tables, no auxiliary
+ * page buffer). Each hash mixes a different slice of program context
+ * (PC, line/byte offsets, recent load-PC history) with a per-hash salt
+ * so the k probes behave like a k-way bloomed perceptron. Prediction
+ * sums the k indexed weights against an activation threshold; training
+ * is POPET-style thresholded perceptron learning.
+ */
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "predictor/offchip_pred.hh"
+#include "sim/model_registry.hh"
+
+namespace hermes
+{
+
+namespace
+{
+
+/** Cheap 64->32 bit mixer (same construction as POPET's hasher). */
+std::uint32_t
+mix32(std::uint64_t x)
+{
+    x ^= x >> 33;
+    x *= 0xFF51AFD7ED558CCDull;
+    x ^= x >> 33;
+    x *= 0xC4CEB9FE1A85EC53ull;
+    x ^= x >> 33;
+    return static_cast<std::uint32_t>(x);
+}
+
+class HashPerc final : public OffChipPredictor
+{
+  public:
+    explicit HashPerc(const ModelContext &ctx)
+        : hashes_(static_cast<unsigned>(ctx.knobInt("hashes"))),
+          weightBits_(static_cast<unsigned>(ctx.knobInt("weight_bits"))),
+          tauAct_(static_cast<int>(ctx.knobInt("act_threshold"))),
+          tn_(static_cast<int>(ctx.knobInt("train_threshold_neg"))),
+          tp_(static_cast<int>(ctx.knobInt("train_threshold_pos"))),
+          mask_((1u << ctx.knobInt("table_bits")) - 1),
+          weights_(1u << ctx.knobInt("table_bits"), 0)
+    {
+    }
+
+    const char *name() const override { return "hashperc"; }
+
+    bool
+    predict(Addr pc, Addr vaddr, PredMeta &meta) override
+    {
+        int sum = 0;
+        meta = PredMeta{};
+        for (unsigned h = 0; h < hashes_; ++h) {
+            const std::uint32_t idx = probeIndex(h, pc, vaddr);
+            meta.index[meta.indexCount++] = idx;
+            sum += weights_[idx];
+        }
+        meta.sum = static_cast<std::int16_t>(sum);
+        meta.predictedOffChip = sum >= tauAct_;
+        meta.valid = true;
+
+        lastLoadPcs_[3] = lastLoadPcs_[2];
+        lastLoadPcs_[2] = lastLoadPcs_[1];
+        lastLoadPcs_[1] = lastLoadPcs_[0];
+        lastLoadPcs_[0] = pc;
+        return meta.predictedOffChip;
+    }
+
+    void
+    train(Addr pc, Addr vaddr, const PredMeta &meta,
+          bool went_off_chip) override
+    {
+        (void)pc;
+        (void)vaddr;
+        if (!meta.valid)
+            return;
+        // Thresholded perceptron update (POPET §6.1.2): adjust only
+        // when the sum is not saturated past [T_N, T_P], or on a
+        // misprediction.
+        const bool within = meta.sum >= tn_ && meta.sum <= tp_;
+        const bool mispredict = meta.predictedOffChip != went_off_chip;
+        if (!within && !mispredict)
+            return;
+        const int wmax = (1 << (weightBits_ - 1)) - 1;
+        const int wmin = -(1 << (weightBits_ - 1));
+        for (unsigned i = 0; i < meta.indexCount; ++i) {
+            std::int8_t &w = weights_[meta.index[i]];
+            if (went_off_chip)
+                w = static_cast<std::int8_t>(std::min<int>(w + 1, wmax));
+            else
+                w = static_cast<std::int8_t>(std::max<int>(w - 1, wmin));
+        }
+    }
+
+    std::uint64_t
+    storageBits() const override
+    {
+        // The shared table is the entire model state.
+        return static_cast<std::uint64_t>(weights_.size()) * weightBits_;
+    }
+
+  private:
+    /** The h-th probe: a salted mix of one slice of program context. */
+    std::uint32_t
+    probeIndex(unsigned h, Addr pc, Addr vaddr) const
+    {
+        std::uint64_t raw = 0;
+        switch (h % 4) {
+          case 0:
+            raw = pc ^ (static_cast<std::uint64_t>(
+                            lineOffsetInPage(vaddr))
+                        << 1);
+            break;
+          case 1:
+            raw = pc ^ (static_cast<std::uint64_t>(
+                            byteOffsetInLine(vaddr))
+                        << 1);
+            break;
+          case 2:
+            raw = (lastLoadPcs_[0] << 3) ^ (lastLoadPcs_[1] << 2) ^
+                  (lastLoadPcs_[2] << 1) ^ lastLoadPcs_[3];
+            break;
+          case 3:
+            raw = (pc << 6) ^ lineAddr(vaddr);
+            break;
+        }
+        return mix32(raw + (h + 1) * 0x9E3779B9ull) & mask_;
+    }
+
+    unsigned hashes_;
+    unsigned weightBits_;
+    int tauAct_;
+    int tn_;
+    int tp_;
+    std::uint32_t mask_;
+    std::vector<std::int8_t> weights_;
+    std::array<Addr, 4> lastLoadPcs_{};
+};
+
+ModelDef
+hashPercModelDef()
+{
+    ModelDef d;
+    d.name = "hashperc";
+    d.kind = ModelKind::Predictor;
+    d.doc = "table-free hashed perceptron: k salted hashes into one "
+            "shared weight table (POPET variant)";
+    d.knobs = {
+        {"table_bits", ModelKnob::Type::Int, "11", 6, 20, false,
+         "log2 of the shared weight-table entries"},
+        {"hashes", ModelKnob::Type::Int, "4", 1, 6, false,
+         "probes per prediction (PredMeta holds at most 6)"},
+        {"act_threshold", ModelKnob::Type::Int, "-8", -1024, 1024,
+         false, "activation threshold tau_act"},
+        {"train_threshold_neg", ModelKnob::Type::Int, "-20", -1024,
+         1024, false, "negative training threshold T_N"},
+        {"train_threshold_pos", ModelKnob::Type::Int, "24", -1024,
+         1024, false, "positive training threshold T_P"},
+        {"weight_bits", ModelKnob::Type::Int, "5", 2, 8, false,
+         "signed weight width (bits)"},
+    };
+    d.counters = predictorCounterKeys();
+    d.makePredictor = [](const ModelContext &ctx) {
+        return std::make_unique<HashPerc>(ctx);
+    };
+    return d;
+}
+
+const ModelRegistrar hashPercRegistrar(hashPercModelDef());
+
+} // namespace
+
+} // namespace hermes

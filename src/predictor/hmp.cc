@@ -2,6 +2,9 @@
 
 #include <cassert>
 
+#include "sim/model_registry.hh"
+#include "sim/system.hh"
+
 namespace hermes
 {
 
@@ -148,5 +151,34 @@ Hmp::storageBits() const
     bits += 3ull * params_.gskewCounters * params_.counterBits;
     return bits;
 }
+
+namespace
+{
+
+ModelDef
+hmpModelDef()
+{
+    ModelDef d;
+    d.name = "hmp";
+    d.kind = ModelKind::Predictor;
+    d.doc = "hybrid local/gshare/gskew hit-miss predictor (Yoaz et "
+            "al., the paper's HMP baseline, §7.2)";
+    d.legacyKeys = {"hmp.local_histories",
+                    "hmp.local_history_bits",
+                    "hmp.local_counters",
+                    "hmp.gshare_counters",
+                    "hmp.global_history_bits",
+                    "hmp.gskew_counters",
+                    "hmp.counter_bits"};
+    d.counters = predictorCounterKeys();
+    d.makePredictor = [](const ModelContext &ctx) {
+        return std::make_unique<Hmp>(ctx.config->hmp);
+    };
+    return d;
+}
+
+const ModelRegistrar hmpRegistrar(hmpModelDef());
+
+} // namespace
 
 } // namespace hermes

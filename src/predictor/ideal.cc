@@ -1,4 +1,32 @@
 #include "predictor/ideal.hh"
 
-// IdealPredictor is header-only; this translation unit anchors it in
-// the library so the build layout stays uniform.
+#include "sim/model_registry.hh"
+
+namespace hermes
+{
+
+// IdealPredictor itself is header-only; this translation unit hosts
+// its model registration.
+namespace
+{
+
+ModelDef
+idealModelDef()
+{
+    ModelDef d;
+    d.name = "ideal";
+    d.kind = ModelKind::Predictor;
+    d.doc = "oracle off-chip predictor probing actual hierarchy "
+            "residency (Ideal Hermes, §3.1)";
+    d.counters = predictorCounterKeys();
+    d.makePredictor = [](const ModelContext &ctx) {
+        return std::make_unique<IdealPredictor>(ctx.residentProbe);
+    };
+    return d;
+}
+
+const ModelRegistrar idealRegistrar(idealModelDef());
+
+} // namespace
+
+} // namespace hermes

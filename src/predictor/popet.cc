@@ -7,6 +7,9 @@
 #include <cstdlib>
 #include <map>
 
+#include "sim/model_registry.hh"
+#include "sim/system.hh"
+
 namespace hermes
 {
 
@@ -249,5 +252,34 @@ Popet::storageBits() const
     bits += static_cast<std::uint64_t>(pageBuffer_.size()) * 80;
     return bits;
 }
+
+namespace
+{
+
+ModelDef
+popetModelDef()
+{
+    ModelDef d;
+    d.name = "popet";
+    d.kind = ModelKind::Predictor;
+    d.doc = "multi-feature hashed-perceptron off-chip predictor "
+            "(the paper's POPET, §6.1)";
+    d.legacyKeys = {"popet.act_threshold",
+                    "popet.train_threshold_neg",
+                    "popet.train_threshold_pos",
+                    "popet.train_on_mispredict",
+                    "popet.weight_bits",
+                    "popet.feature_mask",
+                    "popet.page_buffer_entries"};
+    d.counters = predictorCounterKeys();
+    d.makePredictor = [](const ModelContext &ctx) {
+        return std::make_unique<Popet>(ctx.config->popet);
+    };
+    return d;
+}
+
+const ModelRegistrar popetRegistrar(popetModelDef());
+
+} // namespace
 
 } // namespace hermes

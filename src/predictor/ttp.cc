@@ -2,6 +2,9 @@
 
 #include <cassert>
 
+#include "sim/model_registry.hh"
+#include "sim/system.hh"
+
 namespace hermes
 {
 
@@ -121,5 +124,28 @@ Ttp::storageBits() const
     return static_cast<std::uint64_t>(table_.size()) *
            (params_.tagBits + 1);
 }
+
+namespace
+{
+
+ModelDef
+ttpModelDef()
+{
+    ModelDef d;
+    d.name = "ttp";
+    d.kind = ModelKind::Predictor;
+    d.doc = "address tag-tracking off-chip predictor (the paper's TTP "
+            "comparison point, §4)";
+    d.legacyKeys = {"ttp.sets", "ttp.ways", "ttp.tag_bits"};
+    d.counters = predictorCounterKeys();
+    d.makePredictor = [](const ModelContext &ctx) {
+        return std::make_unique<Ttp>(ctx.config->ttp);
+    };
+    return d;
+}
+
+const ModelRegistrar ttpRegistrar(ttpModelDef());
+
+} // namespace
 
 } // namespace hermes

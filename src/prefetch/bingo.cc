@@ -1,5 +1,7 @@
 #include "prefetch/bingo.hh"
 
+#include "sim/model_registry.hh"
+
 namespace hermes
 {
 
@@ -165,5 +167,26 @@ Bingo::storageBits() const
         static_cast<std::uint64_t>(history_.size()) * (48 + 32 + 32);
     return accum_bits + hist_bits;
 }
+
+namespace
+{
+
+ModelDef
+bingoModelDef()
+{
+    ModelDef d;
+    d.name = "bingo";
+    d.kind = ModelKind::Prefetcher;
+    d.doc = "Bingo spatial footprint prefetcher (Table 6)";
+    d.counters = prefetcherCounterKeys();
+    d.makePrefetcher = [](const ModelContext &/*ctx*/) {
+        return std::make_unique<Bingo>();
+    };
+    return d;
+}
+
+const ModelRegistrar bingoModelDefRegistrar(bingoModelDef());
+
+} // namespace
 
 } // namespace hermes

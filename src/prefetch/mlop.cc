@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "sim/model_registry.hh"
+
 namespace hermes
 {
 
@@ -116,5 +118,26 @@ Mlop::storageBits() const
     return static_cast<std::uint64_t>(zones_.size()) * 100 +
            static_cast<std::uint64_t>(scores_.size()) * 16;
 }
+
+namespace
+{
+
+ModelDef
+mlopModelDef()
+{
+    ModelDef d;
+    d.name = "mlop";
+    d.kind = ModelKind::Prefetcher;
+    d.doc = "multi-lookahead offset prefetcher (Table 6)";
+    d.counters = prefetcherCounterKeys();
+    d.makePrefetcher = [](const ModelContext &/*ctx*/) {
+        return std::make_unique<Mlop>();
+    };
+    return d;
+}
+
+const ModelRegistrar mlopModelDefRegistrar(mlopModelDef());
+
+} // namespace
 
 } // namespace hermes

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "sim/model_registry.hh"
+
 namespace hermes
 {
 
@@ -227,5 +229,29 @@ Pythia::storageBits() const
     return 2ull * params_.tableEntries * kActions.size() * 6 +
            static_cast<std::uint64_t>(params_.eqSize) * 64;
 }
+
+namespace
+{
+
+ModelDef
+pythiaModelDef()
+{
+    ModelDef d;
+    d.name = "pythia";
+    d.kind = ModelKind::Prefetcher;
+    d.doc = "reinforcement-learning prefetcher (Bera et al., the "
+            "paper's baseline, Table 4)";
+    d.counters = prefetcherCounterKeys();
+    d.makePrefetcher = [](const ModelContext &ctx) {
+        PythiaParams p;
+        p.seed = ctx.seed;
+        return std::make_unique<Pythia>(p);
+    };
+    return d;
+}
+
+const ModelRegistrar pythiaModelDefRegistrar(pythiaModelDef());
+
+} // namespace
 
 } // namespace hermes

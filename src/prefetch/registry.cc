@@ -1,39 +1,42 @@
 #include <stdexcept>
 
-#include "prefetch/bingo.hh"
-#include "prefetch/mlop.hh"
 #include "prefetch/prefetcher.hh"
-#include "prefetch/pythia.hh"
-#include "prefetch/sms.hh"
-#include "prefetch/spp.hh"
-#include "prefetch/streamer.hh"
+#include "sim/model_registry.hh"
 
 namespace hermes
 {
 
+// The "no prefetcher" baseline registers here so every value of the
+// "prefetcher" parameter resolves through the model registry.
+namespace
+{
+
+ModelDef
+nonePrefetcherDef()
+{
+    ModelDef d;
+    d.name = "none";
+    d.kind = ModelKind::Prefetcher;
+    d.doc = "no LLC hardware prefetcher (baseline)";
+    d.makePrefetcher = [](const ModelContext &) {
+        return std::unique_ptr<Prefetcher>();
+    };
+    return d;
+}
+
+const ModelRegistrar noneRegistrar(nonePrefetcherDef());
+
+} // namespace
+
 std::unique_ptr<Prefetcher>
 makePrefetcher(PrefetcherKind kind, std::uint64_t seed)
 {
-    switch (kind) {
-      case PrefetcherKind::None:
-        return nullptr;
-      case PrefetcherKind::Streamer:
-        return std::make_unique<Streamer>();
-      case PrefetcherKind::Spp:
-        return std::make_unique<Spp>();
-      case PrefetcherKind::Bingo:
-        return std::make_unique<Bingo>();
-      case PrefetcherKind::Mlop:
-        return std::make_unique<Mlop>();
-      case PrefetcherKind::Sms:
-        return std::make_unique<Sms>();
-      case PrefetcherKind::Pythia: {
-        PythiaParams p;
-        p.seed = seed;
-        return std::make_unique<Pythia>(p);
-      }
-    }
-    throw std::invalid_argument("unknown prefetcher kind");
+    // Thin shim over the model registry: the enum names resolve to the
+    // same registered factories the string path uses.
+    ModelContext ctx;
+    ctx.seed = seed;
+    return ModelRegistry::instance().makePrefetcher(
+        prefetcherKindName(kind), std::move(ctx));
 }
 
 PrefetcherKind

@@ -1,5 +1,7 @@
 #include "prefetch/sms.hh"
 
+#include "sim/model_registry.hh"
+
 namespace hermes
 {
 
@@ -115,5 +117,26 @@ Sms::storageBits() const
     return static_cast<std::uint64_t>(agt_.size()) * (37 + 32 + 32) +
            static_cast<std::uint64_t>(pht_.size()) * (32 + 32);
 }
+
+namespace
+{
+
+ModelDef
+smsModelDef()
+{
+    ModelDef d;
+    d.name = "sms";
+    d.kind = ModelKind::Prefetcher;
+    d.doc = "spatial memory streaming prefetcher (Table 6)";
+    d.counters = prefetcherCounterKeys();
+    d.makePrefetcher = [](const ModelContext &/*ctx*/) {
+        return std::make_unique<Sms>();
+    };
+    return d;
+}
+
+const ModelRegistrar smsModelDefRegistrar(smsModelDef());
+
+} // namespace
 
 } // namespace hermes

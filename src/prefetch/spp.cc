@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "sim/model_registry.hh"
+
 namespace hermes
 {
 
@@ -188,5 +190,27 @@ Spp::storageBits() const
     bits += 4096ull * 30;
     return bits;
 }
+
+namespace
+{
+
+ModelDef
+sppModelDef()
+{
+    ModelDef d;
+    d.name = "spp";
+    d.kind = ModelKind::Prefetcher;
+    d.doc = "signature path prefetcher with perceptron filter "
+            "(SPP+PPF, Table 6)";
+    d.counters = prefetcherCounterKeys();
+    d.makePrefetcher = [](const ModelContext &/*ctx*/) {
+        return std::make_unique<Spp>();
+    };
+    return d;
+}
+
+const ModelRegistrar sppModelDefRegistrar(sppModelDef());
+
+} // namespace
 
 } // namespace hermes

@@ -1,5 +1,7 @@
 #include "prefetch/streamer.hh"
 
+#include "sim/model_registry.hh"
+
 namespace hermes
 {
 
@@ -66,5 +68,27 @@ Streamer::storageBits() const
     // page tag (36) + offset (6) + direction (2) + confidence (3)
     return static_cast<std::uint64_t>(table_.size()) * 47;
 }
+
+namespace
+{
+
+ModelDef
+streamerModelDef()
+{
+    ModelDef d;
+    d.name = "streamer";
+    d.kind = ModelKind::Prefetcher;
+    d.doc = "per-page stream prefetcher with direction confidence "
+            "(sanity baseline)";
+    d.counters = prefetcherCounterKeys();
+    d.makePrefetcher = [](const ModelContext &/*ctx*/) {
+        return std::make_unique<Streamer>();
+    };
+    return d;
+}
+
+const ModelRegistrar streamerModelDefRegistrar(streamerModelDef());
+
+} // namespace
 
 } // namespace hermes

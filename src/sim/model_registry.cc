@@ -1,0 +1,439 @@
+#include "sim/model_registry.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <stdexcept>
+
+#include "common/config.hh"
+#include "sim/param_registry.hh"
+#include "sim/system.hh"
+
+namespace hermes
+{
+
+const char *
+modelKindName(ModelKind kind)
+{
+    switch (kind) {
+      case ModelKind::Predictor:
+        return "predictor";
+      case ModelKind::Prefetcher:
+        return "prefetcher";
+      case ModelKind::Replacement:
+        return "replacement";
+    }
+    return "?";
+}
+
+const char *
+modelKnobPrefix(ModelKind kind)
+{
+    switch (kind) {
+      case ModelKind::Predictor:
+        return "pred";
+      case ModelKind::Prefetcher:
+        return "pref";
+      case ModelKind::Replacement:
+        return "repl";
+    }
+    return "?";
+}
+
+const char *
+ModelKnob::typeName() const
+{
+    switch (type) {
+      case Type::Int:
+        return "int";
+      case Type::Bool:
+        return "bool";
+      case Type::Double:
+        return "double";
+    }
+    return "?";
+}
+
+std::string
+ModelDef::knobKey(const ModelKnob &knob) const
+{
+    return std::string(modelKnobPrefix(kind)) + "." + name + "." +
+           knob.name;
+}
+
+namespace
+{
+
+/** Names are dotted-key segments: lowercase alnum and underscores. */
+bool
+validName(const std::string &name)
+{
+    if (name.empty())
+        return false;
+    for (const char c : name)
+        if (!((c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') ||
+              c == '_'))
+            return false;
+    return true;
+}
+
+const std::string &
+knobRaw(const ModelContext &ctx, const std::string &name,
+        const ModelKnob *&knob_out)
+{
+    if (ctx.model == nullptr || ctx.config == nullptr)
+        throw std::logic_error("ModelContext used outside the registry");
+    for (const ModelKnob &k : ctx.model->knobs) {
+        if (k.name != name)
+            continue;
+        knob_out = &k;
+        const auto it =
+            ctx.config->modelKnobs.find(ctx.model->knobKey(k));
+        return it != ctx.config->modelKnobs.end() ? it->second
+                                                  : k.defaultValue;
+    }
+    throw std::logic_error("model '" + ctx.model->name +
+                           "' reads undeclared knob '" + name + "'");
+}
+
+} // namespace
+
+std::int64_t
+ModelContext::knobInt(const std::string &name) const
+{
+    const ModelKnob *k = nullptr;
+    const std::string &raw = knobRaw(*this, name, k);
+    return *parseInt64(raw);
+}
+
+bool
+ModelContext::knobBool(const std::string &name) const
+{
+    const ModelKnob *k = nullptr;
+    const std::string &raw = knobRaw(*this, name, k);
+    return *parseBoolWord(raw);
+}
+
+double
+ModelContext::knobDouble(const std::string &name) const
+{
+    const ModelKnob *k = nullptr;
+    const std::string &raw = knobRaw(*this, name, k);
+    return *parseFiniteDouble(raw);
+}
+
+ModelRegistry &
+ModelRegistry::instance()
+{
+    static ModelRegistry reg;
+    return reg;
+}
+
+void
+ModelRegistry::add(ModelDef def)
+{
+    if (!validName(def.name))
+        throw std::invalid_argument(
+            "model name '" + def.name +
+            "' must be lowercase alnum/underscore");
+    const int factories = (def.makePredictor ? 1 : 0) +
+                          (def.makePrefetcher ? 1 : 0) +
+                          (def.makeReplacement ? 1 : 0);
+    const bool kind_matches =
+        (def.kind == ModelKind::Predictor && def.makePredictor) ||
+        (def.kind == ModelKind::Prefetcher && def.makePrefetcher) ||
+        (def.kind == ModelKind::Replacement && def.makeReplacement);
+    if (factories != 1 || !kind_matches)
+        throw std::invalid_argument(
+            "model '" + def.name +
+            "' must provide exactly the factory matching its kind");
+    const auto key =
+        std::make_pair(static_cast<int>(def.kind), def.name);
+    if (index_.count(key) != 0)
+        throw std::invalid_argument(
+            std::string(modelKindName(def.kind)) + " '" + def.name +
+            "' is already registered");
+    for (const ModelKnob &k : def.knobs) {
+        if (!validName(k.name))
+            throw std::invalid_argument(
+                "model '" + def.name + "': knob name '" + k.name +
+                "' must be lowercase alnum/underscore");
+        if (k.doc.empty())
+            throw std::invalid_argument("model '" + def.name +
+                                        "': knob '" + k.name +
+                                        "' needs a doc string");
+        // The declared default must survive its own validation.
+        bool ok = false;
+        switch (k.type) {
+          case ModelKnob::Type::Int: {
+            const auto v = parseInt64(k.defaultValue);
+            ok = v && static_cast<double>(*v) >= k.minValue &&
+                 static_cast<double>(*v) <= k.maxValue &&
+                 (!k.powerOfTwo ||
+                  (*v > 0 && (*v & (*v - 1)) == 0));
+            break;
+          }
+          case ModelKnob::Type::Bool:
+            ok = parseBoolWord(k.defaultValue).has_value();
+            break;
+          case ModelKnob::Type::Double: {
+            const auto v = parseFiniteDouble(k.defaultValue);
+            ok = v && *v >= k.minValue && *v <= k.maxValue;
+            break;
+          }
+        }
+        if (!ok)
+            throw std::invalid_argument(
+                "model '" + def.name + "': knob '" + k.name +
+                "' default '" + k.defaultValue +
+                "' fails its own validation");
+    }
+
+    const std::size_t idx = defs_.size();
+    defs_.push_back(std::move(def));
+    index_[key] = idx;
+    for (std::size_t ki = 0; ki < defs_[idx].knobs.size(); ++ki) {
+        const std::string full =
+            defs_[idx].knobKey(defs_[idx].knobs[ki]);
+        if (knobIndex_.count(full) != 0)
+            throw std::invalid_argument("duplicate knob key '" + full +
+                                        "'");
+        knobIndex_[full] = {idx, ki};
+    }
+}
+
+std::vector<const ModelDef *>
+ModelRegistry::models(ModelKind kind) const
+{
+    std::vector<const ModelDef *> out;
+    for (const ModelDef &d : defs_)
+        if (d.kind == kind)
+            out.push_back(&d);
+    std::sort(out.begin(), out.end(),
+              [](const ModelDef *a, const ModelDef *b) {
+                  return a->name < b->name;
+              });
+    return out;
+}
+
+std::vector<std::string>
+ModelRegistry::names(ModelKind kind) const
+{
+    std::vector<std::string> out;
+    for (const ModelDef *d : models(kind))
+        out.push_back(d->name);
+    return out;
+}
+
+const ModelDef *
+ModelRegistry::find(ModelKind kind, const std::string &name) const
+{
+    const auto it =
+        index_.find(std::make_pair(static_cast<int>(kind), name));
+    return it == index_.end() ? nullptr : &defs_[it->second];
+}
+
+const ModelDef &
+ModelRegistry::findOrThrow(ModelKind kind, const std::string &name) const
+{
+    if (const ModelDef *d = find(kind, name))
+        return *d;
+    std::string msg = std::string("unknown ") + modelKindName(kind) +
+                      " '" + name + "'";
+    std::string best;
+    std::size_t best_dist = ~std::size_t{0};
+    for (const std::string &cand : names(kind)) {
+        const std::size_t dist = editDistance(name, cand);
+        if (dist < best_dist) {
+            best_dist = dist;
+            best = cand;
+        }
+    }
+    if (!best.empty())
+        msg += "; did you mean '" + best + "'?";
+    throw std::invalid_argument(msg);
+}
+
+ModelRegistry::KnobRef
+ModelRegistry::findKnob(const std::string &key) const
+{
+    const auto it = knobIndex_.find(key);
+    if (it == knobIndex_.end())
+        return {};
+    KnobRef ref;
+    ref.model = &defs_[it->second.first];
+    ref.knob = &ref.model->knobs[it->second.second];
+    return ref;
+}
+
+std::vector<std::string>
+ModelRegistry::knobKeys() const
+{
+    std::vector<std::string> out;
+    for (const auto &entry : knobIndex_)
+        out.push_back(entry.first);
+    return out;
+}
+
+std::unique_ptr<OffChipPredictor>
+ModelRegistry::makePredictor(const std::string &name,
+                             ModelContext ctx) const
+{
+    const ModelDef &d = findOrThrow(ModelKind::Predictor, name);
+    ctx.model = &d;
+    return d.makePredictor(ctx);
+}
+
+std::unique_ptr<Prefetcher>
+ModelRegistry::makePrefetcher(const std::string &name,
+                              ModelContext ctx) const
+{
+    const ModelDef &d = findOrThrow(ModelKind::Prefetcher, name);
+    ctx.model = &d;
+    return d.makePrefetcher(ctx);
+}
+
+std::unique_ptr<ReplacementPolicy>
+ModelRegistry::makeReplacement(const std::string &name,
+                               ModelContext ctx) const
+{
+    const ModelDef &d = findOrThrow(ModelKind::Replacement, name);
+    ctx.model = &d;
+    return d.makeReplacement(ctx);
+}
+
+std::string
+ModelRegistry::describe() const
+{
+    // One block per model, sorted by kind then name (deterministic
+    // regardless of registration order — this output is pinned in the
+    // README model reference and gated by tools/check_model_docs.sh).
+    struct KnobRow
+    {
+        std::string key, type, dflt, range, doc;
+    };
+    auto boundStr = [](double v) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%g", v);
+        return std::string(buf);
+    };
+
+    std::string out;
+    for (const ModelKind kind :
+         {ModelKind::Predictor, ModelKind::Prefetcher,
+          ModelKind::Replacement}) {
+        for (const ModelDef *d : models(kind)) {
+            if (!out.empty())
+                out += "\n";
+            out += std::string(modelKindName(kind)) + " " + d->name +
+                   " — " + d->doc + "\n";
+
+            std::vector<KnobRow> rows;
+            // Legacy typed-struct parameters first (they predate the
+            // registry and keep their original keys), then the
+            // auto-exposed knobs.
+            for (const std::string &key : d->legacyKeys) {
+                const ParamDef *p = ParamRegistry::instance().find(key);
+                if (p == nullptr)
+                    continue;
+                KnobRow r;
+                r.key = key;
+                r.type = p->typeName();
+                r.dflt = p->defaultValue();
+                switch (p->type) {
+                  case ParamType::Int:
+                  case ParamType::Size:
+                    r.range = "[" + boundStr(p->minValue) + ", " +
+                              boundStr(p->maxValue) + "]" +
+                              (p->powerOfTwo ? " pow2" : "");
+                    break;
+                  case ParamType::UInt:
+                    r.range = "[0, 2^64)";
+                    break;
+                  case ParamType::Bool:
+                    r.range = "true|false";
+                    break;
+                  case ParamType::Enum: {
+                    for (const std::string &c : p->choices)
+                        r.range +=
+                            (r.range.empty() ? "" : "|") + c;
+                    break;
+                  }
+                }
+                r.doc = p->doc;
+                rows.push_back(std::move(r));
+            }
+            for (const ModelKnob &k : d->knobs) {
+                KnobRow r;
+                r.key = d->knobKey(k);
+                r.type = k.typeName();
+                r.dflt = k.defaultValue;
+                switch (k.type) {
+                  case ModelKnob::Type::Int:
+                  case ModelKnob::Type::Double:
+                    r.range = "[" + boundStr(k.minValue) + ", " +
+                              boundStr(k.maxValue) + "]" +
+                              (k.powerOfTwo ? " pow2" : "");
+                    break;
+                  case ModelKnob::Type::Bool:
+                    r.range = "true|false";
+                    break;
+                }
+                r.doc = k.doc;
+                rows.push_back(std::move(r));
+            }
+
+            std::size_t key_w = 0, type_w = 0, dflt_w = 0, range_w = 0;
+            for (const KnobRow &r : rows) {
+                key_w = std::max(key_w, r.key.size());
+                type_w = std::max(type_w, r.type.size());
+                dflt_w = std::max(dflt_w, r.dflt.size());
+                range_w = std::max(range_w, r.range.size());
+            }
+            char buf[512];
+            for (const KnobRow &r : rows) {
+                std::snprintf(buf, sizeof(buf),
+                              "  knob %-*s  %-*s  %-*s  %-*s  %s\n",
+                              static_cast<int>(key_w), r.key.c_str(),
+                              static_cast<int>(type_w), r.type.c_str(),
+                              static_cast<int>(dflt_w), r.dflt.c_str(),
+                              static_cast<int>(range_w),
+                              r.range.c_str(), r.doc.c_str());
+                out += buf;
+            }
+            if (d->counters.empty()) {
+                out += "  counters: (none)\n";
+            } else {
+                out += "  counters: ";
+                for (std::size_t i = 0; i < d->counters.size(); ++i)
+                    out += (i ? ", " : "") + d->counters[i];
+                out += "\n";
+            }
+        }
+    }
+    return out;
+}
+
+std::vector<std::string>
+predictorCounterKeys()
+{
+    return {"pred.tp",       "pred.fp",        "pred.fn",
+            "pred.tn",       "pred.accuracy",  "pred.coverage",
+            "hermes.scheduled", "hermes.served", "hermes.served_rate"};
+}
+
+std::vector<std::string>
+prefetcherCounterKeys()
+{
+    return {"pf.issued",     "pf.useful",      "pf.useless",
+            "llc.pf_issued", "llc.pf_fills",   "llc.pf_useful",
+            "llc.pf_useless", "llc.mshr_late_pf"};
+}
+
+std::vector<std::string>
+replacementCounterKeys()
+{
+    return {"llc.evictions", "llc.dirty_evictions", "llc.hit_rate",
+            "llc.mpki"};
+}
+
+} // namespace hermes

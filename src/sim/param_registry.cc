@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "common/config.hh"
+#include "sim/model_registry.hh"
 #include "trace/suite.hh"
 
 namespace hermes
@@ -12,6 +13,23 @@ namespace hermes
 
 namespace
 {
+
+/**
+ * Choices for a model-selection key: the legacy enum names in their
+ * documented order, then any further registered models sorted by name.
+ * Built at ParamRegistry construction (first use, i.e. after static
+ * initialization has run every ModelRegistrar); apply() additionally
+ * consults the live registry.
+ */
+std::vector<std::string>
+modelChoices(ModelKind kind, std::vector<std::string> legacy)
+{
+    for (const std::string &name : ModelRegistry::instance().names(kind))
+        if (std::find(legacy.begin(), legacy.end(), name) ==
+            legacy.end())
+            legacy.push_back(name);
+    return legacy;
+}
 
 /** Format a bound without a decimal point ("64", "4294967296"). */
 std::string
@@ -45,24 +63,6 @@ joinChoices(const std::vector<std::string> &choices)
         out += c;
     }
     return out;
-}
-
-std::size_t
-editDistance(const std::string &a, const std::string &b)
-{
-    std::vector<std::size_t> prev(b.size() + 1), cur(b.size() + 1);
-    for (std::size_t j = 0; j <= b.size(); ++j)
-        prev[j] = j;
-    for (std::size_t i = 1; i <= a.size(); ++i) {
-        cur[0] = i;
-        for (std::size_t j = 1; j <= b.size(); ++j) {
-            const std::size_t sub =
-                prev[j - 1] + (a[i - 1] == b[j - 1] ? 0 : 1);
-            cur[j] = std::min({prev[j] + 1, cur[j - 1] + 1, sub});
-        }
-        std::swap(prev, cur);
-    }
-    return prev[b.size()];
 }
 
 } // namespace
@@ -249,33 +249,68 @@ ParamRegistry::ParamRegistry()
     num("llc.mshrs_per_core",
         [](SystemConfig &c) -> auto & { return c.llcMshrsPerCore; }, 1,
         1024, "LLC MSHR entries per core");
+    // Model-selection keys. Legacy enum names set the enum field (so
+    // pre-registry configurations render byte-identically); any other
+    // registered model name is stored as a string and resolved through
+    // the model registry at System construction.
     enumerated(
-        "llc.repl", {"lru", "srrip", "ship"},
-        [](const SystemConfig &c) { return replKindName(c.llcRepl); },
+        "llc.repl",
+        modelChoices(ModelKind::Replacement, {"lru", "srrip", "ship"}),
+        [](const SystemConfig &c) { return c.llcReplName(); },
         [](SystemConfig &c, const std::string &v) {
-            c.llcRepl = replKindFromString(v);
+            for (const ReplKind k :
+                 {ReplKind::Lru, ReplKind::Srrip, ReplKind::Ship}) {
+                if (v == replKindName(k)) {
+                    c.llcRepl = k;
+                    c.llcReplModel.clear();
+                    return;
+                }
+            }
+            c.llcReplModel = v;
         },
         "LLC replacement policy");
+    defs_.back().modelKind = static_cast<int>(ModelKind::Replacement);
 
     enumerated(
         "prefetcher",
-        {"none", "streamer", "spp", "bingo", "mlop", "sms", "pythia"},
-        [](const SystemConfig &c) {
-            return prefetcherKindName(c.prefetcher);
-        },
+        modelChoices(ModelKind::Prefetcher,
+                     {"none", "streamer", "spp", "bingo", "mlop", "sms",
+                      "pythia"}),
+        [](const SystemConfig &c) { return c.prefetcherName(); },
         [](SystemConfig &c, const std::string &v) {
-            c.prefetcher = prefetcherKindFromString(v);
+            for (const char *name : {"none", "streamer", "spp", "bingo",
+                                     "mlop", "sms", "pythia"}) {
+                if (v == name) {
+                    c.prefetcher = prefetcherKindFromString(v);
+                    c.prefetcherModel.clear();
+                    return;
+                }
+            }
+            c.prefetcher = PrefetcherKind::None;
+            c.prefetcherModel = v;
         },
         "LLC hardware prefetcher (Table 6)");
+    defs_.back().modelKind = static_cast<int>(ModelKind::Prefetcher);
+
     enumerated(
-        "predictor", {"none", "popet", "hmp", "ttp", "ideal"},
-        [](const SystemConfig &c) {
-            return predictorKindName(c.predictor);
-        },
+        "predictor",
+        modelChoices(ModelKind::Predictor,
+                     {"none", "popet", "hmp", "ttp", "ideal"}),
+        [](const SystemConfig &c) { return c.predictorName(); },
         [](SystemConfig &c, const std::string &v) {
-            c.predictor = predictorKindFromString(v);
+            for (const char *name :
+                 {"none", "popet", "hmp", "ttp", "ideal"}) {
+                if (v == name) {
+                    c.predictor = predictorKindFromString(v);
+                    c.predictorModel.clear();
+                    return;
+                }
+            }
+            c.predictor = PredictorKind::None;
+            c.predictorModel = v;
         },
         "off-chip load predictor (paper §7.2)");
+    defs_.back().modelKind = static_cast<int>(ModelKind::Predictor);
 
     boolean("hermes.enabled",
             [](SystemConfig &c) -> auto & { return c.hermesIssueEnabled; },
@@ -401,13 +436,18 @@ ParamRegistry::nearestKey(const std::string &key) const
 {
     std::string best;
     std::size_t best_dist = ~std::size_t{0};
-    for (const ParamDef &d : defs_) {
-        const std::size_t dist = editDistance(key, d.key);
+    auto consider = [&](const std::string &cand) {
+        const std::size_t dist = editDistance(key, cand);
         if (dist < best_dist) {
             best_dist = dist;
-            best = d.key;
+            best = cand;
         }
-    }
+    };
+    for (const ParamDef &d : defs_)
+        consider(d.key);
+    // Registered model knobs are addressable keys too.
+    for (const std::string &k : ModelRegistry::instance().knobKeys())
+        consider(k);
     return best;
 }
 
@@ -425,11 +465,73 @@ ParamRegistry::findOrThrow(const std::string &key) const
     return *d;
 }
 
+namespace
+{
+
+/** Validate a registered-knob value against its declaration. */
+void
+applyModelKnob(SystemConfig &cfg, const std::string &key,
+               const std::string &value, const ModelKnob &knob)
+{
+    auto rangeCheck = [&](double v) {
+        if (v < knob.minValue || v > knob.maxValue) {
+            char lo[32], hi[32];
+            std::snprintf(lo, sizeof(lo), "%g", knob.minValue);
+            std::snprintf(hi, sizeof(hi), "%g", knob.maxValue);
+            throw std::invalid_argument(key + ": value " + value +
+                                        " out of range [" + lo + ", " +
+                                        hi + "]");
+        }
+    };
+    switch (knob.type) {
+      case ModelKnob::Type::Int: {
+        const auto v = parseInt64(value);
+        if (!v)
+            throw std::invalid_argument(key + ": expected an integer, "
+                                              "got '" +
+                                        value + "'");
+        rangeCheck(static_cast<double>(*v));
+        if (knob.powerOfTwo && (*v <= 0 || (*v & (*v - 1)) != 0))
+            throw std::invalid_argument(key + ": value " + value +
+                                        " must be a power of two");
+        break;
+      }
+      case ModelKnob::Type::Bool: {
+        if (!parseBoolWord(value))
+            throw std::invalid_argument(key + ": expected a boolean, "
+                                              "got '" +
+                                        value + "'");
+        break;
+      }
+      case ModelKnob::Type::Double: {
+        const auto v = parseFiniteDouble(value);
+        if (!v)
+            throw std::invalid_argument(key + ": expected a number, "
+                                              "got '" +
+                                        value + "'");
+        rangeCheck(*v);
+        break;
+      }
+    }
+    cfg.modelKnobs[key] = value;
+}
+
+} // namespace
+
 void
 ParamRegistry::apply(SystemConfig &cfg, const std::string &key,
                      const std::string &value) const
 {
-    const ParamDef *d = &findOrThrow(key);
+    const ParamDef *d = find(key);
+    if (d == nullptr) {
+        // Not a core parameter: maybe a registered model knob
+        // ("pred.<model>.<knob>").
+        if (const auto kref = ModelRegistry::instance().findKnob(key)) {
+            applyModelKnob(cfg, key, value, *kref.knob);
+            return;
+        }
+        d = &findOrThrow(key); // throws with a nearest-key suggestion
+    }
 
     auto rangeCheck = [&](double v) {
         if (v < d->minValue || v > d->maxValue)
@@ -482,8 +584,18 @@ ParamRegistry::apply(SystemConfig &cfg, const std::string &key,
         break;
       }
       case ParamType::Enum: {
-        if (std::find(d->choices.begin(), d->choices.end(), value) ==
-            d->choices.end())
+        bool ok = std::find(d->choices.begin(), d->choices.end(),
+                            value) != d->choices.end();
+        if (!ok && d->modelKind >= 0) {
+            // Model-selection keys consult the live registry so models
+            // registered after this snapshot remain selectable —
+            // findOrThrow supplies the nearest-name suggestion.
+            const auto kind = static_cast<ModelKind>(d->modelKind);
+            if (ModelRegistry::instance().find(kind, value) == nullptr)
+                ModelRegistry::instance().findOrThrow(kind, value);
+            ok = true;
+        }
+        if (!ok)
             throw std::invalid_argument(key + ": '" + value +
                                         "' is not one of " +
                                         joinChoices(d->choices));
@@ -571,6 +683,11 @@ SystemConfig::toConfig() const
     Config out;
     for (const ParamDef &d : ParamRegistry::instance().params())
         out.set(d.key, d.get(*this));
+    // Explicitly-set model knobs only (std::map iterates sorted, so
+    // the rendering — and the sweep fingerprint — is deterministic);
+    // untouched configurations render exactly as before the registry.
+    for (const auto &[key, value] : modelKnobs)
+        out.set(key, value);
     return out;
 }
 

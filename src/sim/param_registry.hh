@@ -53,6 +53,14 @@ struct ParamDef
     bool powerOfTwo = false;
     /** Valid names (Enum). */
     std::vector<std::string> choices;
+    /**
+     * ModelKind (as int) for the model-selection keys ("predictor",
+     * "prefetcher", "llc.repl"); -1 otherwise. Selection keys validate
+     * against the live ModelRegistry rather than the choices snapshot,
+     * so models registered after this registry was built (tests,
+     * embedders) remain selectable.
+     */
+    int modelKind = -1;
 
     /** Current value of the field, in re-parseable string form. */
     std::function<std::string(const SystemConfig &)> get;

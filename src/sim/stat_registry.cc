@@ -36,24 +36,6 @@ static_assert(sizeof(PrefetcherStats) == 3 * sizeof(std::uint64_t),
 static_assert(sizeof(HostPerf) == sizeof(double) + sizeof(std::uint64_t),
               "HostPerf changed: update the journal record codec");
 
-std::size_t
-editDistance(const std::string &a, const std::string &b)
-{
-    std::vector<std::size_t> prev(b.size() + 1), cur(b.size() + 1);
-    for (std::size_t j = 0; j <= b.size(); ++j)
-        prev[j] = j;
-    for (std::size_t i = 1; i <= a.size(); ++i) {
-        cur[0] = i;
-        for (std::size_t j = 1; j <= b.size(); ++j) {
-            const std::size_t sub =
-                prev[j - 1] + (a[i - 1] == b[j - 1] ? 0 : 1);
-            cur[j] = std::min({prev[j] + 1, cur[j - 1] + 1, sub});
-        }
-        std::swap(prev, cur);
-    }
-    return prev[b.size()];
-}
-
 /** Classic '*'/'?' glob over a whole key. */
 bool
 globMatch(const char *pat, const char *s)

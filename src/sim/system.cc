@@ -4,7 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
-#include "predictor/ideal.hh"
+#include "sim/model_registry.hh"
 
 namespace hermes
 {
@@ -22,6 +22,26 @@ SystemConfig::baseline(int cores)
         cfg.dram.ranksPerChannel = 2;
     }
     return cfg;
+}
+
+std::string
+SystemConfig::predictorName() const
+{
+    return predictorModel.empty() ? predictorKindName(predictor)
+                                  : predictorModel;
+}
+
+std::string
+SystemConfig::prefetcherName() const
+{
+    return prefetcherModel.empty() ? prefetcherKindName(prefetcher)
+                                   : prefetcherModel;
+}
+
+std::string
+SystemConfig::llcReplName() const
+{
+    return llcReplModel.empty() ? replKindName(llcRepl) : llcReplModel;
 }
 
 std::uint64_t
@@ -130,10 +150,32 @@ System::System(const SystemConfig &config,
     llc_params.rqSize = 64u * n;
     llc_params.pqSize = 48u * n;
     llc_params.repl = config_.llcRepl;
+    if (!config_.llcReplModel.empty()) {
+        // Registry-only policies reach the cache through a factory so
+        // cache/ never depends on sim/. The configuration is captured
+        // by value: the factory outlives this constructor inside
+        // CacheParams.
+        llc_params.replFactory = [cfg = config_](std::uint32_t sets,
+                                                 std::uint32_t ways) {
+            ModelContext ctx;
+            ctx.config = &cfg;
+            ctx.seed = cfg.seed;
+            ctx.sets = sets;
+            ctx.ways = ways;
+            return ModelRegistry::instance().makeReplacement(
+                cfg.llcReplModel, std::move(ctx));
+        };
+    }
     llc_ = std::make_unique<Cache>(llc_params);
     llc_->setLower(dram_.get());
 
-    prefetcher_ = makePrefetcher(config_.prefetcher, config_.seed);
+    {
+        ModelContext ctx;
+        ctx.config = &config_;
+        ctx.seed = config_.seed;
+        prefetcher_ = ModelRegistry::instance().makePrefetcher(
+            config_.prefetcherName(), std::move(ctx));
+    }
     if (prefetcher_ != nullptr)
         llc_->setPrefetcher(prefetcher_.get());
 
@@ -166,38 +208,27 @@ System::System(const SystemConfig &config,
         l2_.back()->setUpper(i, l1_.back().get());
     }
 
-    // Off-chip predictors + Hermes controllers (one per core).
+    // Off-chip predictors + Hermes controllers (one per core), built
+    // through the model registry by resolved name (the legacy enum
+    // path funnels through the same factories).
     for (int i = 0; i < n; ++i) {
-        std::unique_ptr<OffChipPredictor> pred;
-        switch (config_.predictor) {
-          case PredictorKind::None:
-            break;
-          case PredictorKind::Popet:
-            pred = std::make_unique<Popet>(config_.popet);
-            break;
-          case PredictorKind::Hmp:
-            pred = std::make_unique<Hmp>(config_.hmp);
-            break;
-          case PredictorKind::Ttp:
-            pred = std::make_unique<Ttp>(config_.ttp);
-            break;
-          case PredictorKind::Ideal: {
-            Cache *l1 = l1_[i].get();
-            Cache *l2 = l2_[i].get();
-            Cache *llc = llc_.get();
-            pred = std::make_unique<IdealPredictor>(
-                [l1, l2, llc](Addr line) {
-                    return l1->probe(line) || l2->probe(line) ||
-                           llc->probe(line);
-                });
-            break;
-          }
-        }
-        predictors_.push_back(std::move(pred));
+        Cache *l1 = l1_[i].get();
+        Cache *l2 = l2_[i].get();
+        Cache *llc = llc_.get();
+        ModelContext ctx;
+        ctx.config = &config_;
+        ctx.seed = config_.seed;
+        ctx.coreId = i;
+        ctx.residentProbe = [l1, l2, llc](Addr line) {
+            return l1->probe(line) || l2->probe(line) ||
+                   llc->probe(line);
+        };
+        predictors_.push_back(ModelRegistry::instance().makePredictor(
+            config_.predictorName(), std::move(ctx)));
 
         HermesParams hp;
         hp.issueEnabled = config_.hermesIssueEnabled &&
-                          config_.predictor != PredictorKind::None;
+                          predictors_.back() != nullptr;
         hp.issueLatency = config_.hermesIssueLatency;
         hermes_.push_back(std::make_unique<HermesController>(
             hp, predictors_.back().get(), dram_.get()));

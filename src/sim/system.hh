@@ -9,6 +9,7 @@
  */
 
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -70,6 +71,30 @@ struct SystemConfig
     DramParams dram;
 
     std::uint64_t seed = 1;
+
+    /**
+     * Registry-selected model names (sim/model_registry.hh). Empty
+     * means "use the enum field" — the "predictor", "prefetcher" and
+     * "llc.repl" parameters set these only for names outside the
+     * legacy enum sets, so pre-registry configurations render (and
+     * fingerprint) exactly as before.
+     */
+    std::string predictorModel;
+    std::string prefetcherModel;
+    std::string llcReplModel;
+    /**
+     * Sparse registered-knob overrides ("pred.<model>.<knob>" ->
+     * validated value string). Only explicitly-set knobs appear here;
+     * unset knobs fall back to their declared defaults at model
+     * construction.
+     */
+    std::map<std::string, std::string> modelKnobs;
+
+    /** Resolved model names: the registry string when set, else the
+     * legacy enum's name. This is what System actually instantiates. */
+    std::string predictorName() const;
+    std::string prefetcherName() const;
+    std::string llcReplName() const;
 
     /** Baseline single/multi-core configuration per Table 4. */
     static SystemConfig baseline(int cores);

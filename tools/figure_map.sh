@@ -1,0 +1,60 @@
+#!/usr/bin/env bash
+# Generate the README "Paper figure map" table from the one-line
+# `// figmap: <figure> | <sweeps>` annotation every bench/*.cc driver
+# carries. Printed to stdout; README.md holds the output between
+# `<!-- figure-map:begin -->` and `<!-- figure-map:end -->` markers and
+# tools/check_model_docs.sh gates freshness in CI.
+#
+# Usage: tools/figure_map.sh            print the table
+#        tools/figure_map.sh --update   rewrite the README block
+
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+
+generate() {
+    python3 - "$repo_root" <<'EOF'
+import glob
+import os
+import sys
+
+root = sys.argv[1]
+rows = []
+for path in sorted(glob.glob(os.path.join(root, "bench", "*.cc"))):
+    stem = os.path.splitext(os.path.basename(path))[0]
+    ann = [l for l in open(path) if l.lstrip().startswith("// figmap:")]
+    if len(ann) != 1:
+        sys.exit(f"bench/{stem}.cc: expected exactly one '// figmap:' "
+                 f"line, found {len(ann)}")
+    body = ann[0].split("// figmap:", 1)[1].strip()
+    parts = [p.strip() for p in body.split("|")]
+    if len(parts) != 2 or not all(parts):
+        sys.exit(f"bench/{stem}.cc: figmap line must be "
+                 f"'<figure> | <sweeps>', got '{body}'")
+    rows.append((stem, parts[0], parts[1]))
+
+print("| driver | paper figure | sweeps | run |")
+print("|---|---|---|---|")
+for stem, fig, sweeps in rows:
+    print(f"| `{stem}` | {fig} | {sweeps} | `./build/{stem}` |")
+EOF
+}
+
+if [ "${1:-}" = "--update" ]; then
+    table="$(generate)"
+    python3 - "$repo_root/README.md" "$table" <<'EOF'
+import sys
+
+path, table = sys.argv[1], sys.argv[2]
+begin, end = "<!-- figure-map:begin -->", "<!-- figure-map:end -->"
+text = open(path).read()
+if begin not in text or end not in text:
+    sys.exit(f"{path}: missing {begin}/{end} markers")
+head, rest = text.split(begin, 1)
+_, tail = rest.split(end, 1)
+open(path, "w").write(head + begin + "\n" + table + "\n" + end + tail)
+EOF
+    echo "README.md figure map updated."
+else
+    generate
+fi
