@@ -15,6 +15,7 @@
 #include "sim/report.hh"
 #include "sim/stat_registry.hh"
 #include "sweep/journal.hh"
+#include "sweep/result_cache.hh"
 
 namespace hermes::bench
 {
@@ -30,6 +31,7 @@ std::mutex g_all_results_mutex;
 
 /** Orchestration state: journal writer, resumed segments, cursor. */
 std::unique_ptr<sweep::JournalWriter> g_journal;
+std::unique_ptr<sweep::ResultCache> g_cache;
 std::vector<sweep::JournalSegment> g_resume;
 std::size_t g_segment_index = 0;
 bool g_last_grid_complete = true;
@@ -39,7 +41,7 @@ bool
 orchestrated()
 {
     return !g_cli.journalPath.empty() || !g_resume.empty() ||
-           g_cli.shard.count > 1;
+           g_cli.shard.count > 1 || g_cache != nullptr;
 }
 
 void
@@ -51,7 +53,8 @@ usage(const char *argv0)
         "          [--csv FILE] [--json FILE] [--stats LIST]\n"
         "          [--progress|--no-progress]\n"
         "          [--mips] [--shard i/N] [--journal FILE]\n"
-        "          [--resume FILE]... [--list]\n"
+        "          [--resume FILE]... [--cache SPEC] [--no-cache]\n"
+        "          [--list]\n"
         "  --threads N   sweep worker threads (0 = all hardware\n"
         "                threads, the default; env HERMES_THREADS)\n"
         "  --suite S     trace suite (default quick; env"
@@ -72,6 +75,11 @@ usage(const char *argv0)
         "                (one segment per grid this driver fans out)\n"
         "  --resume FILE   skip points already recorded in FILE\n"
         "                (repeatable; shard journals union together)\n"
+        "  --cache SPEC  content-addressed result store\n"
+        "                \"DIR[,max_bytes=SIZE][,max_entries=N]\";\n"
+        "                cached points load instead of simulating\n"
+        "                (env HERMES_RESULT_CACHE)\n"
+        "  --no-cache    ignore HERMES_RESULT_CACHE\n"
         "  --list        print available predictors, prefetchers,\n"
         "                suites and registry parameters, then exit\n",
         argv0);
@@ -119,6 +127,7 @@ initCli(int argc, char **argv)
     g_cli.progress = isatty(fileno(stderr)) != 0;
     if (const char *env = std::getenv("HERMES_THREADS"))
         g_cli.threads = parseIntOrUsage(env, argv[0]);
+    bool no_cache = false;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -166,6 +175,10 @@ initCli(int argc, char **argv)
             g_cli.journalPath = value();
         } else if (arg == "--resume") {
             g_cli.resumePaths.push_back(value());
+        } else if (arg == "--cache") {
+            g_cli.cacheSpec = value();
+        } else if (arg == "--no-cache") {
+            no_cache = true;
         } else if (arg == "--list") {
             std::printf("%s", describeScenarioSpace().c_str());
             std::exit(0);
@@ -200,6 +213,20 @@ initCli(int argc, char **argv)
     } catch (const std::exception &e) {
         std::fprintf(stderr, "error: %s\n", e.what());
         std::exit(1);
+    }
+
+    if (g_cli.cacheSpec.empty() && !no_cache)
+        if (const char *env = std::getenv("HERMES_RESULT_CACHE"))
+            g_cli.cacheSpec = env;
+    g_cache.reset();
+    if (!g_cli.cacheSpec.empty()) {
+        try {
+            g_cache = std::make_unique<sweep::ResultCache>(
+                sweep::parseResultCacheSpec(g_cli.cacheSpec));
+        } catch (const std::exception &e) {
+            std::fprintf(stderr, "error: %s\n", e.what());
+            std::exit(1);
+        }
     }
 
     if (!g_cli.csvPath.empty() || !g_cli.jsonPath.empty())
@@ -305,6 +332,7 @@ runGrid(const std::vector<sweep::GridPoint> &grid)
             }
         }
         oopts.journal = g_journal.get();
+        oopts.cache = g_cache.get();
         orun = sweep::runJournaled(engineOptions(), grid, oopts);
         g_last_grid_complete = orun.complete();
         if (!g_last_grid_complete) {
@@ -316,8 +344,8 @@ runGrid(const std::vector<sweep::GridPoint> &grid)
                 "merge the shard journals and re-run with --resume "
                 "for full tables\n",
                 g_cli.shard.index, g_cli.shard.count,
-                orun.simulated + orun.resumed, grid.size(),
-                orun.missing());
+                orun.simulated + orun.cached + orun.resumed,
+                grid.size(), orun.missing());
         }
     } else {
         orun.results = engine().run(grid);

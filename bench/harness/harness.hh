@@ -34,7 +34,13 @@
  *  --resume FILE   skip points FILE already records (repeatable;
  *                  shard journals of the same driver union together,
  *                  so a complete union reprints full figures without
- *                  re-simulating anything).
+ *                  re-simulating anything);
+ *  --cache SPEC    shared content-addressed result store
+ *                  "DIR[,max_bytes=SIZE][,max_entries=N]" (env
+ *                  HERMES_RESULT_CACHE; --no-cache ignores the env):
+ *                  points the store already holds load instead of
+ *                  simulating, and every completion is stored back, so
+ *                  overlapping figure grids and re-runs share work.
  */
 
 #include <cstdint>
@@ -81,6 +87,12 @@ struct CliOptions
     std::string journalPath;
     /** Journals whose recorded points are skipped, not re-simulated. */
     std::vector<std::string> resumePaths;
+    /**
+     * Result store spec "DIR[,max_bytes=SIZE][,max_entries=N]"; ""
+     * means no store (unless HERMES_RESULT_CACHE names one and
+     * --no-cache was not given). See sweep/result_cache.hh.
+     */
+    std::string cacheSpec;
 };
 
 /**

@@ -18,10 +18,12 @@
  *   hermes_run --config scenario.ini --report
  */
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <stdexcept>
 #include <string>
@@ -34,6 +36,7 @@
 #include "sim/simulator.hh"
 #include "sim/stat_registry.hh"
 #include "sweep/axis.hh"
+#include "sweep/result_cache.hh"
 #include "trace/suite.hh"
 
 namespace
@@ -62,6 +65,11 @@ usage(const char *argv0, int exit_code)
         "  --warmup N       warmup instructions per core (default 100000)\n"
         "  --instrs N       measured instructions per core (default 400000)\n"
         "  --scale F        scale both budgets (env HERMES_SIM_SCALE)\n"
+        "  --cache SPEC     content-addressed result store\n"
+        "                   \"DIR[,max_bytes=SIZE][,max_entries=N]\"; a\n"
+        "                   cached scenario loads instead of simulating\n"
+        "                   (env HERMES_RESULT_CACHE)\n"
+        "  --no-cache       ignore HERMES_RESULT_CACHE\n"
         "\n"
         "output:\n"
         "  --label NAME     row label for CSV/JSON (default: trace names)\n"
@@ -95,6 +103,8 @@ struct Options
     std::uint64_t warmup = 100'000;
     std::uint64_t instrs = 400'000;
     std::string label;
+    std::string cacheSpec;
+    bool noCache = false;
     std::string csvPath;
     std::string jsonPath;
     std::string statsSpec;
@@ -134,8 +144,8 @@ parseCli(int argc, char **argv)
                 const std::string name = arg.substr(0, eq);
                 for (const char *o :
                      {"--config", "--trace", "--mix", "--warmup",
-                      "--instrs", "--scale", "--label", "--csv",
-                      "--json", "--stats"}) {
+                      "--instrs", "--scale", "--label", "--cache",
+                      "--csv", "--json", "--stats"}) {
                     if (name == o) {
                         has_inline = true;
                         inline_val = arg.substr(eq + 1);
@@ -223,6 +233,10 @@ parseCli(int argc, char **argv)
             setenv("HERMES_SIM_SCALE", scale.c_str(), 1);
         } else if (arg == "--label") {
             opt.label = value();
+        } else if (arg == "--cache") {
+            opt.cacheSpec = value();
+        } else if (arg == "--no-cache") {
+            opt.noCache = true;
         } else if (arg == "--csv") {
             opt.csvPath = value();
         } else if (arg == "--json") {
@@ -313,12 +327,56 @@ main(int argc, char **argv)
 
         const SimBudget budget =
             SimBudget::fromEnv(opt.warmup, opt.instrs);
-        const RunStats stats = simulate(cfg, traces, budget);
 
+        // The label is part of the point's cache identity, so settle
+        // it before any lookup.
         if (opt.label.empty()) {
             for (const auto &t : traces)
                 opt.label +=
                     (opt.label.empty() ? "" : "+") + t.name();
+        }
+
+        // The same scenario described to hermes_sweep (or a server
+        // spec) must hash identically, so mirror its grid-point shape:
+        // a single trace replicates across every core.
+        sweep::GridPoint point;
+        point.label = opt.label;
+        point.config = cfg;
+        point.traces = traces;
+        if (traces.size() == 1 && cfg.numCores > 1)
+            point.traces.assign(
+                static_cast<std::size_t>(cfg.numCores), traces[0]);
+        point.budget = budget;
+
+        std::string cache_spec = opt.cacheSpec;
+        if (cache_spec.empty() && !opt.noCache)
+            if (const char *env = std::getenv("HERMES_RESULT_CACHE"))
+                cache_spec = env;
+        std::unique_ptr<sweep::ResultCache> cache;
+        if (!cache_spec.empty())
+            cache = std::make_unique<sweep::ResultCache>(
+                sweep::parseResultCacheSpec(cache_spec));
+
+        RunStats stats;
+        std::optional<sweep::PointResult> hit;
+        if (cache)
+            hit = cache->load(point);
+        if (hit) {
+            stats = std::move(hit->stats);
+        } else {
+            const auto t0 = std::chrono::steady_clock::now();
+            stats = simulate(cfg, traces, budget);
+            if (cache) {
+                sweep::PointResult r;
+                r.index = 0;
+                r.label = opt.label;
+                r.stats = stats;
+                r.wallSeconds = std::chrono::duration<double>(
+                                    std::chrono::steady_clock::now() -
+                                    t0)
+                                    .count();
+                cache->store(point, r);
+            }
         }
 
         // Keep stdout machine-parseable when a dump streams to it.

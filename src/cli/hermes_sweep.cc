@@ -21,6 +21,17 @@
  *   hermes_sweep ... --resume s1.jsonl --resume s2.jsonl \
  *       --resume s3.jsonl --resume s4.jsonl --merge \
  *       --journal merged.jsonl --csv results.csv --fingerprint
+ *
+ * With --cache DIR (or HERMES_RESULT_CACHE) every completed point also
+ * lands in a shared content-addressed store, and later sweeps load
+ * matching points instead of simulating them. --serve turns the same
+ * machinery into a long-running job server on a unix socket; --client
+ * and --submit-to talk to it (see docs/result-cache.md):
+ *
+ *   hermes_sweep --serve /tmp/hermes.sock --cache cache/ &
+ *   hermes_sweep --axis ... --suite quick \
+ *       --submit-to /tmp/hermes.sock --csv results.csv
+ *   hermes_sweep --client /tmp/hermes.sock --request stats
  */
 
 #include <cstdio>
@@ -30,6 +41,7 @@
 #include <memory>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <unistd.h>
 #include <vector>
 
@@ -40,6 +52,8 @@
 #include "sim/stat_registry.hh"
 #include "sweep/axis.hh"
 #include "sweep/journal.hh"
+#include "sweep/result_cache.hh"
+#include "sweep/server.hh"
 #include "sweep/sweep.hh"
 #include "trace/suite.hh"
 
@@ -86,6 +100,24 @@ usage(const char *argv0, int exit_code)
         "  --progress       per-point meter with points/sec and ETA\n"
         "  --no-progress\n"
         "\n"
+        "result cache & server mode:\n"
+        "  --cache SPEC     content-addressed result store\n"
+        "                   \"DIR[,max_bytes=SIZE][,max_entries=N]\";\n"
+        "                   cached points load instead of simulating\n"
+        "                   (env HERMES_RESULT_CACHE)\n"
+        "  --no-cache       ignore HERMES_RESULT_CACHE\n"
+        "  --serve SOCK     serve a job queue on unix socket SOCK\n"
+        "                   (--threads workers; ctrl-C or a client\n"
+        "                   \"shutdown\" request stops it)\n"
+        "  --state DIR      server state directory (queue journal and\n"
+        "                   the default cache; default \"SOCK.state\")\n"
+        "  --submit-to SOCK run this sweep's grid through a server\n"
+        "                   instead of simulating locally\n"
+        "  --client SOCK    send each --request line to a server and\n"
+        "                   print the responses\n"
+        "  --request LINE   protocol request for --client (repeatable;\n"
+        "                   e.g. \"stats\", \"ping\", \"shutdown\")\n"
+        "\n"
         "output (CSV/JSON/fingerprint need a complete grid):\n"
         "  --csv FILE|-     one CSV row per grid point\n"
         "  --json FILE|-    JSON array of grid points\n"
@@ -124,6 +156,14 @@ struct Options
     bool merge = false;
     int threads = 0;
     bool progress = false;
+
+    std::string cacheSpec;
+    bool noCache = false;
+    std::string servePath;
+    std::string stateDir;
+    std::string submitTo;
+    std::string clientPath;
+    std::vector<std::string> requests;
 
     std::string csvPath;
     std::string jsonPath;
@@ -233,6 +273,20 @@ parseCli(int argc, char **argv)
             opt.progress = true;
         } else if (arg == "--no-progress") {
             opt.progress = false;
+        } else if (arg == "--cache") {
+            opt.cacheSpec = value();
+        } else if (arg == "--no-cache") {
+            opt.noCache = true;
+        } else if (arg == "--serve") {
+            opt.servePath = value();
+        } else if (arg == "--state") {
+            opt.stateDir = value();
+        } else if (arg == "--submit-to") {
+            opt.submitTo = value();
+        } else if (arg == "--client") {
+            opt.clientPath = value();
+        } else if (arg == "--request") {
+            opt.requests.push_back(value());
         } else if (arg == "--csv") {
             opt.csvPath = value();
         } else if (arg == "--json") {
@@ -284,7 +338,60 @@ parseCli(int argc, char **argv)
                      "--json - can claim stdout\n");
         usage(argv[0], 2);
     }
+    if (opt.noCache && !opt.cacheSpec.empty()) {
+        std::fprintf(stderr,
+                     "error: --cache and --no-cache are mutually "
+                     "exclusive\n");
+        usage(argv[0], 2);
+    }
+    if (!opt.clientPath.empty() && opt.requests.empty()) {
+        std::fprintf(stderr,
+                     "error: --client needs at least one --request\n");
+        usage(argv[0], 2);
+    }
+    if (!opt.requests.empty() && opt.clientPath.empty()) {
+        std::fprintf(stderr, "error: --request needs --client SOCK\n");
+        usage(argv[0], 2);
+    }
+    if (!opt.servePath.empty() &&
+        (opt.merge || opt.shard.count > 1 || !opt.submitTo.empty() ||
+         !opt.clientPath.empty() || !opt.resumePaths.empty())) {
+        std::fprintf(stderr,
+                     "error: --serve is a standalone mode (no "
+                     "--merge/--shard/--resume/--submit-to/--client)"
+                     "\n");
+        usage(argv[0], 2);
+    }
+    if (!opt.submitTo.empty() &&
+        (opt.merge || opt.shard.count > 1 || !opt.resumePaths.empty())) {
+        std::fprintf(stderr,
+                     "error: --submit-to runs the whole grid through "
+                     "the server (no --merge/--shard/--resume)\n");
+        usage(argv[0], 2);
+    }
+    if (!opt.stateDir.empty() && opt.servePath.empty()) {
+        std::fprintf(stderr, "error: --state needs --serve SOCK\n");
+        usage(argv[0], 2);
+    }
     return opt;
+}
+
+/**
+ * Resolve the result cache from --cache, falling back to the
+ * HERMES_RESULT_CACHE environment unless --no-cache. Returns nullptr
+ * when neither names a store.
+ */
+std::unique_ptr<sweep::ResultCache>
+openCache(const Options &opt)
+{
+    std::string spec = opt.cacheSpec;
+    if (spec.empty() && !opt.noCache)
+        if (const char *env = std::getenv("HERMES_RESULT_CACHE"))
+            spec = env;
+    if (spec.empty())
+        return nullptr;
+    return std::make_unique<sweep::ResultCache>(
+        sweep::parseResultCacheSpec(spec));
 }
 
 /**
@@ -389,6 +496,57 @@ main(int argc, char **argv)
 {
     Options opt = parseCli(argc, argv);
     try {
+        // Client mode: protocol round trips only, no grid involved.
+        if (!opt.clientPath.empty()) {
+            for (const std::string &req : opt.requests)
+                std::printf(
+                    "%s\n",
+                    sweep::serverRequest(opt.clientPath, req).c_str());
+            return 0;
+        }
+
+        std::unique_ptr<sweep::ResultCache> cache = openCache(opt);
+
+        // Server mode: hold a job queue open until a client asks it to
+        // shut down. Results persist in the cache; pending submissions
+        // persist in <state>/queue.log, so a killed server resumes.
+        if (!opt.servePath.empty()) {
+            const std::string state = opt.stateDir.empty()
+                                          ? opt.servePath + ".state"
+                                          : opt.stateDir;
+            if (!cache)
+                cache = std::make_unique<sweep::ResultCache>(
+                    sweep::ResultCacheConfig{state + "/cache", 0, 0});
+            sweep::ServeOptions sopts;
+            sopts.socketPath = opt.servePath;
+            sopts.stateDir = state;
+            sopts.workers =
+                opt.threads > 0
+                    ? opt.threads
+                    : static_cast<int>(
+                          std::thread::hardware_concurrency());
+            if (sopts.workers < 1)
+                sopts.workers = 1;
+            sopts.cache = cache.get();
+            sweep::SweepServer server(sopts);
+            server.start();
+            const sweep::ServerStats boot = server.statsSnapshot();
+            std::fprintf(stderr,
+                         "serve: listening on %s (%d workers, cache "
+                         "%s, %zu jobs restored)\n",
+                         opt.servePath.c_str(), sopts.workers,
+                         cache->dir().c_str(), boot.restored);
+            server.waitForShutdown();
+            server.stop();
+            const sweep::ServerStats st = server.statsSnapshot();
+            std::fprintf(stderr,
+                         "serve: done (%zu submitted, %zu completed, "
+                         "%zu failed, %zu cache hits)\n",
+                         st.submitted, st.completed, st.failed,
+                         st.cacheHits);
+            return 0;
+        }
+
         const std::vector<sweep::GridPoint> grid = buildGrid(opt);
 
         // Validate the column selection before any simulation runs: a
@@ -477,6 +635,68 @@ main(int argc, char **argv)
                     std::to_string(n) +
                     " points missing, e.g.:" + missing);
             }
+        } else if (!opt.submitTo.empty()) {
+            // Run the grid through a serving hermes_sweep: submit
+            // everything (the server dedups by fingerprint and answers
+            // warm points from its cache), then collect in grid order.
+            const std::size_t n = grid.size();
+            run.results.resize(n);
+            run.present.assign(n, false);
+            if (writer)
+                writer->beginGrid(grid);
+            std::vector<std::string> fps(n);
+            for (std::size_t i = 0; i < n; ++i) {
+                fps[i] =
+                    fingerprintHex(sweep::pointFingerprint(grid[i]));
+                const std::string resp = sweep::serverRequest(
+                    opt.submitTo,
+                    "submit " + sweep::specFromPoint(grid[i]));
+                if (resp.compare(0, 3, "ok ") != 0)
+                    throw std::runtime_error("submit of '" +
+                                             grid[i].label +
+                                             "' failed: " + resp);
+                // The server echoes the fingerprint it derived from
+                // the spec; a mismatch means the two binaries disagree
+                // on point identity (codec drift) and every poll would
+                // chase the wrong job.
+                if (resp.compare(3, 16, fps[i]) != 0)
+                    throw std::runtime_error(
+                        "server disagrees on the identity of '" +
+                        grid[i].label + "' (local " + fps[i] +
+                        ", server: " + resp.substr(3) +
+                        "); mixed hermes versions?");
+            }
+            for (std::size_t i = 0; i < n; ++i) {
+                std::string resp = sweep::serverRequest(
+                    opt.submitTo, "wait " + fps[i]);
+                if (resp != "ok " + fps[i] + " done")
+                    throw std::runtime_error(
+                        "point '" + grid[i].label +
+                        "' did not complete: " + resp);
+                resp = sweep::serverRequest(opt.submitTo,
+                                            "result " + fps[i]);
+                if (resp.compare(0, 3, "ok ") != 0)
+                    throw std::runtime_error("cannot fetch '" +
+                                             grid[i].label +
+                                             "': " + resp);
+                sweep::JournalRecord rec =
+                    sweep::decodeJournalRecord(resp.substr(3));
+                if (rec.pointFp != sweep::pointFingerprint(grid[i]) ||
+                    rec.result.label != grid[i].label)
+                    throw std::runtime_error(
+                        "server returned a record for the wrong "
+                        "point ('" +
+                        rec.result.label + "' vs '" + grid[i].label +
+                        "')");
+                rec.result.index = i;
+                run.results[i] = std::move(rec.result);
+                run.present[i] = true;
+                ++run.cached;
+                if (writer)
+                    writer->append(run.results[i]);
+                if (cache)
+                    cache->store(grid[i], run.results[i]);
+            }
         } else {
             sweep::SweepOptions eopts;
             eopts.threads = opt.threads;
@@ -496,15 +716,16 @@ main(int argc, char **argv)
             oopts.shard = opt.shard;
             oopts.resume = resume.get();
             oopts.journal = writer.get();
+            oopts.cache = cache.get();
             run = sweep::runJournaled(eopts, grid, oopts);
         }
 
         const bool complete = run.complete();
         std::fprintf(stderr,
-                     "sweep: %zu points (%zu simulated, %zu resumed, "
-                     "%zu other-shard), %s\n",
-                     grid.size(), run.simulated, run.resumed,
-                     run.otherShard,
+                     "sweep: %zu points (%zu simulated, %zu cached, "
+                     "%zu resumed, %zu other-shard), %s\n",
+                     grid.size(), run.simulated, run.cached,
+                     run.resumed, run.otherShard,
                      complete
                          ? ("fingerprint " +
                             fingerprintHex(

@@ -13,6 +13,7 @@
 #include "common/config.hh"
 #include "sim/report.hh"
 #include "sim/stat_registry.hh"
+#include "sweep/result_cache.hh"
 
 namespace hermes::sweep
 {
@@ -503,6 +504,27 @@ decodeRecord(const Jv &obj)
 } // namespace
 
 std::uint64_t
+journalFormatVersion()
+{
+    return kJournalVersion;
+}
+
+std::string
+encodeJournalRecord(const JournalRecord &rec)
+{
+    return encodeRecord(rec);
+}
+
+JournalRecord
+decodeJournalRecord(const std::string &line)
+{
+    const Jv obj = JsonParser(line).parse();
+    if (obj.kind != Jv::Kind::Obj)
+        fail("expected a JSON object record");
+    return decodeRecord(obj);
+}
+
+std::uint64_t
 pointFingerprint(const GridPoint &point)
 {
     Fnv64 h;
@@ -602,6 +624,17 @@ readJournal(const std::string &path, bool *truncated_tail)
                 std::string(e.what()) + " (" + path + " line " +
                 std::to_string(line_no) + ")");
         }
+    }
+    // A crash between beginGrid() and the first append leaves a
+    // complete header line as the file's tail. That segment holds
+    // nothing recoverable, so treat it like any other torn tail: drop
+    // it and flag. A journal whose *only* segment is empty stays as-is
+    // — that is a valid "began a grid, recorded nothing yet" journal
+    // (e.g. a shard owning none of a tiny grid), not a torn tail.
+    if (segments.size() > 1 && segments.back().records.empty()) {
+        segments.pop_back();
+        if (truncated_tail != nullptr)
+            *truncated_tail = true;
     }
     if (segments.empty())
         throw std::runtime_error(
@@ -738,15 +771,26 @@ JournalWriter::~JournalWriter()
 }
 
 void
+JournalWriter::writeLine(const std::string &line)
+{
+    // One complete line per write, flushed and fsynced before the line
+    // is considered recorded: a crash can only cost the line in
+    // flight, which the loader drops as a truncated tail. Headers get
+    // the same durability as records — a header that reaches the page
+    // cache but not the disk would silently demote every record synced
+    // after it.
+    if (std::fwrite(line.data(), 1, line.size(), file_) != line.size() ||
+        std::fflush(file_) != 0)
+        throw std::runtime_error("journal: write failed on " + path_);
+    static_cast<void>(fsync(fileno(file_)));
+}
+
+void
 JournalWriter::beginGrid(const std::vector<GridPoint> &grid)
 {
     std::lock_guard<std::mutex> g(mutex_);
     grid_ = &grid;
-    const std::string line =
-        encodeHeader(spaceFingerprint(grid), grid.size()) + "\n";
-    if (std::fwrite(line.data(), 1, line.size(), file_) != line.size() ||
-        std::fflush(file_) != 0)
-        throw std::runtime_error("journal: write failed on " + path_);
+    writeLine(encodeHeader(spaceFingerprint(grid), grid.size()) + "\n");
 }
 
 void
@@ -762,14 +806,7 @@ JournalWriter::append(const PointResult &r)
     rec.index = r.index;
     rec.pointFp = pointFingerprint((*grid_)[r.index]);
     rec.result = r;
-    const std::string line = encodeRecord(rec) + "\n";
-    // One complete line per write, flushed (and fsynced) before the
-    // point is considered recorded: a crash can only cost the line in
-    // flight, which the loader drops as a truncated tail.
-    if (std::fwrite(line.data(), 1, line.size(), file_) != line.size() ||
-        std::fflush(file_) != 0)
-        throw std::runtime_error("journal: write failed on " + path_);
-    static_cast<void>(fsync(fileno(file_)));
+    writeLine(encodeRecord(rec) + "\n");
 }
 
 bool
@@ -820,6 +857,10 @@ runJournaled(const SweepOptions &engine_opts,
             // is complete-so-far before any new simulation starts.
             if (opts.journal != nullptr)
                 opts.journal->append(rec.result);
+            // Resumed records also warm the store: --resume old.jsonl
+            // --cache DIR migrates a journal into the cache.
+            if (opts.cache != nullptr)
+                opts.cache->store(grid[rec.index], rec.result);
         }
     }
     for (std::size_t i = 0; i < n; ++i) {
@@ -831,17 +872,42 @@ runJournaled(const SweepOptions &engine_opts,
         }
     }
 
+    // Consult the store for every point this run would simulate. Hits
+    // are journaled like any completion (so a journal stays a full
+    // record of its grid) and re-verified by the cache on load, which
+    // keeps cached and simulated runs byte-identical downstream.
+    if (opts.cache != nullptr) {
+        for (std::size_t i = 0; i < n; ++i) {
+            if (skip[i])
+                continue;
+            auto hit = opts.cache->load(grid[i]);
+            if (!hit)
+                continue;
+            hit->index = i;
+            out.results[i] = std::move(*hit);
+            out.present[i] = true;
+            skip[i] = true;
+            ++out.cached;
+            if (opts.journal != nullptr)
+                opts.journal->append(out.results[i]);
+        }
+    }
+
     SweepOptions eopts = engine_opts;
-    if (opts.journal != nullptr) {
+    if (opts.journal != nullptr || opts.cache != nullptr) {
         JournalWriter *writer = opts.journal;
+        ResultCache *cache = opts.cache;
         ProgressFn user = engine_opts.onProgress;
         // The engine invokes progress under one lock as each point
-        // finishes; journaling there makes completion and persistence
-        // a single step.
-        eopts.onProgress = [writer, user](std::size_t done,
-                                          std::size_t total,
-                                          const PointResult &r) {
-            writer->append(r);
+        // finishes; journaling and cache publication there make
+        // completion and persistence a single step.
+        eopts.onProgress = [writer, cache, &grid,
+                            user](std::size_t done, std::size_t total,
+                                  const PointResult &r) {
+            if (writer != nullptr)
+                writer->append(r);
+            if (cache != nullptr && r.ok)
+                cache->store(grid[r.index], r);
             if (user)
                 user(done, total, r);
         };

@@ -30,9 +30,11 @@
  * the same way, and "fp" is statsFingerprint() of the recorded stats;
  * the loader re-derives it after decoding, which catches both file
  * corruption and encode/decode drift. Appends are a single write of a
- * complete line followed by a flush, so a crash can only lose or
- * truncate the final line — the loader tolerates exactly that (a
- * truncated *tail*) and rejects any earlier malformed line.
+ * complete line followed by a flush and fsync (headers too), so a
+ * crash can only lose or truncate the final line — the loader
+ * tolerates exactly that (a truncated *tail*, including a trailing
+ * header-only segment left by a crash between beginGrid and the first
+ * append) and rejects any earlier malformed line.
  */
 
 #include <cstdint>
@@ -45,6 +47,8 @@
 
 namespace hermes::sweep
 {
+
+class ResultCache;
 
 /**
  * Identity hash of one grid point: label, every registry-rendered
@@ -70,6 +74,23 @@ struct JournalSegment
     std::size_t points = 0;
     std::vector<JournalRecord> records;
 };
+
+/**
+ * The journal line format version; bumped when the record layout or
+ * the stats codec changes shape. The result cache stamps its entries
+ * with the same version, so a codec bump invalidates both together.
+ */
+std::uint64_t journalFormatVersion();
+
+/** Serialize one record as its JSONL journal line (no newline). */
+std::string encodeJournalRecord(const JournalRecord &rec);
+
+/**
+ * Parse + verify one record line: the decoded stats must reproduce the
+ * recorded "fp" fingerprint. Throws std::runtime_error on any defect.
+ * Shared by the journal loader, the result cache and the sweep server.
+ */
+JournalRecord decodeJournalRecord(const std::string &line);
 
 /**
  * Parse a journal file into segments. Structural validation only (the
@@ -136,6 +157,9 @@ class JournalWriter
     const std::string &path() const { return path_; }
 
   private:
+    /** One complete line, written + flushed + fsynced (or throws). */
+    void writeLine(const std::string &line);
+
     std::string path_;
     std::FILE *file_ = nullptr;
     std::mutex mutex_;
@@ -158,6 +182,14 @@ struct OrchestrateOptions
      * and resumed records are re-recorded first. May be nullptr.
      */
     JournalWriter *journal = nullptr;
+    /**
+     * Content-addressed result store (sweep/result_cache.hh). Points
+     * it already holds are loaded instead of simulated (and journaled
+     * like any other completion); every point that does simulate — or
+     * arrives via resume — is stored back, so overlapping grids and
+     * later runs share the work. May be nullptr.
+     */
+    ResultCache *cache = nullptr;
 };
 
 /** Outcome of runJournaled(): full-grid results plus a presence map. */
@@ -168,6 +200,8 @@ struct OrchestratedRun
     std::vector<bool> present;
     std::size_t simulated = 0;
     std::size_t resumed = 0;
+    /** Points loaded from the result cache instead of simulated. */
+    std::size_t cached = 0;
     /** Points owned by other shards (absent unless resumed). */
     std::size_t otherShard = 0;
 

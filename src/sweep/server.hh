@@ -1,0 +1,131 @@
+#pragma once
+
+/**
+ * @file
+ * hermes_sweep --serve: a long-running job queue over a local unix
+ * socket, so many clients share one warm result store instead of each
+ * re-simulating the same grid points. A job is one grid point; its id
+ * IS the point's content fingerprint (pointFingerprint hex), so
+ * duplicate submissions from any number of clients collapse onto one
+ * simulation, and a completed job's result is exactly a result-cache
+ * entry.
+ *
+ * Protocol (newline-delimited text, any number of requests per
+ * connection; every response is a single "ok ..." / "error ..." line):
+ *
+ *   submit <spec>    enqueue a scenario     -> ok <fp16> <state>
+ *   poll <fp16>      job state              -> ok <fp16> <state>
+ *   wait <fp16>      block until done/failed-> ok <fp16> <state>
+ *   result <fp16>    completed record       -> ok <record json line>
+ *   stats            server counters        -> ok k=v ...
+ *   ping             liveness               -> ok pong
+ *   shutdown         graceful stop          -> ok bye
+ *
+ * <state> is queued | running | done | failed; "poll" and "wait" of a
+ * failed job append the error text. A scenario <spec> is ';'-separated
+ * key=value pairs: trace=NAME[,NAME...] (one per core), plus optional
+ * label= / warmup= / instrs=; every other key is a parameter-registry
+ * override (see specFromPoint, which renders the full config so specs
+ * round-trip through pointFingerprint exactly).
+ *
+ * Persistence: completed results live in the shared ResultCache
+ * (atomic, fingerprint-verified entries); pending submissions are
+ * fsynced to "<state>/queue.log" before the submit is acknowledged.
+ * On restart the queue journal is compacted — specs whose fingerprint
+ * the cache already holds are resolved, the rest re-enqueue — so a
+ * kill -9 mid-grid loses at most the single simulation in flight,
+ * never an acknowledged submission or a persisted result.
+ */
+
+#include <cstdint>
+#include <string>
+
+#include "sweep/result_cache.hh"
+#include "sweep/sweep.hh"
+
+namespace hermes::sweep
+{
+
+/**
+ * Parse a scenario spec into a grid point (see the file comment for
+ * the syntax). Throws std::invalid_argument / std::runtime_error on
+ * unknown traces, bad registry keys or malformed pairs.
+ */
+GridPoint pointFromSpec(const std::string &spec);
+
+/**
+ * Render @p point as a spec that parses back to the identical
+ * fingerprint: label/warmup/instrs/trace pairs plus every
+ * registry-rendered config key. Throws std::invalid_argument if the
+ * label cannot be carried (contains ';' or a newline).
+ */
+std::string specFromPoint(const GridPoint &point);
+
+/**
+ * One round trip against a serving hermes_sweep: connect to
+ * @p socket_path, send @p request (newline appended), return the
+ * single-line response. Throws std::runtime_error on connect/io
+ * failure.
+ */
+std::string serverRequest(const std::string &socket_path,
+                          const std::string &request);
+
+struct ServeOptions
+{
+    std::string socketPath;
+    /** Holds queue.log (and the default cache dir). */
+    std::string stateDir;
+    /** Simulation worker threads; 0 is allowed (accept/queue only). */
+    int workers = 1;
+    /** Result store shared with every other consumer. Required. */
+    ResultCache *cache = nullptr;
+};
+
+/** Counters reported by the "stats" request. */
+struct ServerStats
+{
+    std::size_t submitted = 0;
+    std::size_t completed = 0;
+    std::size_t failed = 0;
+    /** Submissions answered straight from the result cache. */
+    std::size_t cacheHits = 0;
+    /** Queued submissions re-enqueued from queue.log on startup. */
+    std::size_t restored = 0;
+};
+
+class SweepServer
+{
+  public:
+    /**
+     * Restores persisted state (compacting queue.log) but does not
+     * open the socket yet. Throws std::runtime_error on unusable
+     * options or a corrupt (non-tail) queue journal.
+     */
+    explicit SweepServer(ServeOptions opts);
+    ~SweepServer();
+
+    SweepServer(const SweepServer &) = delete;
+    SweepServer &operator=(const SweepServer &) = delete;
+
+    /** Bind + listen on the socket, spawn accept + worker threads. */
+    void start();
+
+    /** Stop accepting, drain threads, close + unlink the socket. */
+    void stop();
+
+    /** Block until a client sends "shutdown" (or stop() is called). */
+    void waitForShutdown();
+
+    /** Jobs currently queued or running. */
+    std::size_t pending() const;
+
+    ServerStats statsSnapshot() const;
+
+    const std::string &socketPath() const;
+
+  private:
+    struct Impl;
+    Impl *impl_;
+};
+
+} // namespace hermes::sweep

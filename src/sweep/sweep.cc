@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <deque>
 #include <exception>
+#include <limits>
 #include <mutex>
 #include <stdexcept>
 #include <thread>
@@ -92,6 +93,11 @@ parseShardSpec(const std::string &spec)
     if (*count < 1)
         throw std::invalid_argument(
             "shard count must be at least 1; got '" + spec + "'");
+    // Bound before the int narrowing: a count past INT_MAX would wrap
+    // into a nonsense (possibly negative) partition.
+    if (*count > std::numeric_limits<int>::max())
+        throw std::invalid_argument(
+            "shard count is out of range; got '" + spec + "'");
     if (*idx < 1 || *idx > *count)
         throw std::invalid_argument(
             "shard index must be in 1..N; got '" + spec + "'");
@@ -103,7 +109,17 @@ SweepEngine::SweepEngine(SweepOptions opts) : opts_(std::move(opts)) {}
 bool
 SweepEngine::inShard(std::size_t index, const ShardSpec &shard)
 {
-    if (shard.count <= 1)
+    // parseShardSpec() can't produce a degenerate spec, but a
+    // hand-built one could: count < 1 would silently mean "the whole
+    // grid" N times over, and an out-of-range index would make the
+    // shard own nothing — both quietly corrupt a partition, so they
+    // are hard errors here.
+    if (shard.count < 1 || shard.index < 1 ||
+        shard.index > shard.count)
+        throw std::invalid_argument(
+            "shard spec out of range: " + std::to_string(shard.index) +
+            "/" + std::to_string(shard.count));
+    if (shard.count == 1)
         return true;
     return index % static_cast<std::size_t>(shard.count) ==
            static_cast<std::size_t>(shard.index - 1);

@@ -133,7 +133,9 @@ class SweepEngine
      * True when grid index @p index belongs to @p shard. The partition
      * is deterministic in the grid index alone (round-robin), so N
      * shard runs cover every point exactly once regardless of machine,
-     * thread count or launch order.
+     * thread count or launch order. A degenerate spec (count < 1 or an
+     * index outside 1..count) throws std::invalid_argument rather than
+     * silently mis-partitioning.
      */
     static bool inShard(std::size_t index, const ShardSpec &shard);
 

@@ -496,6 +496,120 @@ TEST(Journal, CodecRoundTripsEveryRegisteredCounter)
     std::remove(path.c_str());
 }
 
+TEST(ShardSpec, InShardThrowsOnDegenerateSpecs)
+{
+    // A zero-count spec used to hit "% 0"; any out-of-range spec must
+    // be a loud error, never a silent mis-partition.
+    EXPECT_THROW(sweep::SweepEngine::inShard(3, {0, 0}),
+                 std::invalid_argument);
+    EXPECT_THROW(sweep::SweepEngine::inShard(3, {0, 4}),
+                 std::invalid_argument);
+    EXPECT_THROW(sweep::SweepEngine::inShard(3, {5, 4}),
+                 std::invalid_argument);
+    EXPECT_THROW(sweep::SweepEngine::inShard(3, {2, 0}),
+                 std::invalid_argument);
+    EXPECT_THROW(sweep::SweepEngine::inShard(3, {-1, 3}),
+                 std::invalid_argument);
+    EXPECT_TRUE(sweep::SweepEngine::inShard(0, {1, 1}));
+}
+
+TEST(ShardSpec, ParseRejectsCountBeyondIntRange)
+{
+    EXPECT_THROW(sweep::parseShardSpec("1/99999999999"),
+                 std::invalid_argument);
+}
+
+TEST(Journal, HeaderIsOnDiskBeforeAnyAppend)
+{
+    // Regression: beginGrid used to fflush without fsync, so a crash
+    // right after it could leave appends pointing at a hole. The
+    // observable contract is that the header line is complete and
+    // parseable the moment beginGrid returns, with the writer still
+    // open and no records appended.
+    const auto grid = smallGrid();
+    const std::string path = tempPath("headerfirst.jsonl");
+    sweep::JournalWriter w(path);
+    w.beginGrid(grid);
+
+    const std::string text = slurp(path);
+    ASSERT_FALSE(text.empty());
+    EXPECT_EQ(text.back(), '\n');
+    const auto segments = sweep::readJournal(path);
+    ASSERT_EQ(segments.size(), 1u);
+    EXPECT_EQ(segments[0].spaceFp, sweep::spaceFingerprint(grid));
+    EXPECT_EQ(segments[0].points, grid.size());
+    EXPECT_TRUE(segments[0].records.empty());
+    std::remove(path.c_str());
+}
+
+TEST(Journal, TrailingHeaderOnlySegmentIsAToleratedTail)
+{
+    // A crash between beginGrid and the first append leaves a bare
+    // header as the final segment. That is a truncated tail — drop it
+    // and keep every earlier record — not a hard error.
+    const auto grid = smallGrid();
+    std::vector<sweep::GridPoint> grid2(grid.begin(), grid.begin() + 2);
+    const std::string path = tempPath("bareheader.jsonl");
+    {
+        sweep::JournalWriter w(path);
+        w.beginGrid(grid);
+        w.append(sweep::SweepEngine().run(grid)[3]);
+        w.beginGrid(grid2); // killed here: no appends follow
+    }
+    bool truncated = false;
+    const auto segments = sweep::readJournal(path, &truncated);
+    EXPECT_TRUE(truncated);
+    ASSERT_EQ(segments.size(), 1u);
+    sweep::validateSegment(segments[0], grid);
+    ASSERT_EQ(segments[0].records.size(), 1u);
+    EXPECT_EQ(segments[0].records[0].index, 3u);
+    std::remove(path.c_str());
+}
+
+TEST(Journal, SingleBareHeaderJournalLoadsAsEmptySegment)
+{
+    // A journal holding exactly one header and nothing else is a valid
+    // "began a grid, recorded nothing yet" state (e.g. a shard owning
+    // none of a tiny grid): it must load, not throw and not vanish.
+    const auto grid = smallGrid();
+    const std::string path = tempPath("singleheader.jsonl");
+    {
+        sweep::JournalWriter w(path);
+        w.beginGrid(grid);
+    }
+    bool truncated = false;
+    const auto segments = sweep::readJournal(path, &truncated);
+    EXPECT_FALSE(truncated);
+    ASSERT_EQ(segments.size(), 1u);
+    EXPECT_TRUE(segments[0].records.empty());
+    sweep::validateSegment(segments[0], grid);
+    std::remove(path.c_str());
+}
+
+TEST(Journal, RecordCodecExposedAndVerifying)
+{
+    const auto grid = smallGrid();
+    const auto r = sweep::SweepEngine().run(grid)[0];
+    sweep::JournalRecord rec;
+    rec.index = 0;
+    rec.pointFp = sweep::pointFingerprint(grid[0]);
+    rec.result = r;
+    const std::string line = sweep::encodeJournalRecord(rec);
+    const sweep::JournalRecord back = sweep::decodeJournalRecord(line);
+    EXPECT_EQ(back.index, rec.index);
+    EXPECT_EQ(back.pointFp, rec.pointFp);
+    EXPECT_EQ(statsFingerprint(back.result.stats),
+              statsFingerprint(r.stats));
+
+    // decode re-derives the stats fingerprint; a flipped digit fails.
+    std::string bad = line;
+    const std::size_t cycles = bad.find("\"cycles\":");
+    ASSERT_NE(cycles, std::string::npos);
+    const std::size_t digit = cycles + std::strlen("\"cycles\":");
+    bad[digit] = bad[digit] == '1' ? '2' : '1';
+    EXPECT_THROW(sweep::decodeJournalRecord(bad), std::runtime_error);
+}
+
 TEST(Journal, FailedPointsAreNeverRecorded)
 {
     sweep::PointResult bad;

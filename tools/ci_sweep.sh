@@ -14,6 +14,14 @@
 #   tools/ci_sweep.sh golden OUTDIR      run both grids unsharded and
 #                                        rewrite tests/golden/
 #                                        ci_sweep_fingerprints.txt
+#   tools/ci_sweep.sh spacefp            print "fig12 <fp>" and
+#                                        "fig16 <fp>" space fingerprints
+#                                        (CI cache keys)
+#   tools/ci_sweep.sh warm CACHE OUTDIR  run both grids twice against
+#                                        one result cache; assert pass 2
+#                                        simulates 0 points yet emits
+#                                        byte-identical golden-matching
+#                                        fingerprints
 #
 # HERMES_SWEEP points at the hermes_sweep binary (default:
 # build/hermes_sweep relative to the repo root).
@@ -111,6 +119,56 @@ merge)
     step_summary "| merged fig12 | fingerprint $(cat "$out/fig12.fingerprint") |"
     step_summary "| merged fig16 | fingerprint $(cat "$out/fig16.fingerprint") |"
     ;;
+spacefp)
+    # The space fingerprint identifies the exact grid (every point's
+    # config, traces and budgets), which makes it the right CI cache
+    # key: any grid change starts a fresh cache instead of mixing
+    # entries from different scenario spaces into one artifact.
+    echo "fig12 $(fig12_space --list-grid | awk 'NR==1 {print $NF}')"
+    echo "fig16 $(fig16_space --list-grid | awk 'NR==1 {print $NF}')"
+    ;;
+warm)
+    cache="${1:?cache dir}"
+    out="${2:?output dir}"
+    mkdir -p "$out"
+    export HERMES_RESULT_CACHE="$cache"
+    for pass in 1 2; do
+        for fig in fig12 fig16; do
+            ${fig}_space --journal "$out/$fig-pass$pass.jsonl" \
+                --fingerprint >"$out/$fig-pass$pass.fp" \
+                2>"$out/$fig-pass$pass.log"
+            cat "$out/$fig-pass$pass.log" >&2
+        done
+    done
+    for fig in fig12 fig16; do
+        # Pass 2 must be answered entirely from the store...
+        if ! grep -q "(0 simulated, " "$out/$fig-pass2.log"; then
+            echo "FAIL: warm $fig rerun simulated points:" >&2
+            cat "$out/$fig-pass2.log" >&2
+            exit 1
+        fi
+        # ...and still reproduce pass 1 (and the pinned golden)
+        # byte-for-byte: journals included, since cached results carry
+        # even their host-perf payload back unchanged.
+        if ! cmp -s "$out/$fig-pass1.fp" "$out/$fig-pass2.fp"; then
+            echo "FAIL: warm $fig fingerprint drifted across passes" >&2
+            exit 1
+        fi
+        if ! cmp -s "$out/$fig-pass1.jsonl" "$out/$fig-pass2.jsonl"; then
+            echo "FAIL: warm $fig journal drifted across passes" >&2
+            exit 1
+        fi
+        got="$(cat "$out/$fig-pass2.fp")"
+        want="$(awk -v f="$fig" '$1 == f {print $2}' "$golden_file")"
+        if [ "$got" != "$want" ]; then
+            echo "FAIL: warm $fig fingerprint $got != golden $want" >&2
+            exit 1
+        fi
+        echo "OK: warm $fig rerun simulated 0 points, fingerprint" \
+            "$got matches golden"
+    done
+    step_summary "| warm rerun | 0 points simulated, fingerprints match golden |"
+    ;;
 golden)
     out="${1:?output dir}"
     mkdir -p "$out"
@@ -131,7 +189,7 @@ golden)
     grep -v '^#' "$golden_file"
     ;;
 *)
-    echo "unknown command '$cmd' (want shard|merge|golden)" >&2
+    echo "unknown command '$cmd' (want shard|merge|golden|spacefp|warm)" >&2
     exit 2
     ;;
 esac
