@@ -12,6 +12,7 @@
 
 #include "common/stats.hh"
 #include "sim/param_registry.hh"
+#include "trace/resolve.hh"
 #include "sim/report.hh"
 #include "sim/stat_registry.hh"
 #include "sweep/journal.hh"
@@ -49,7 +50,7 @@ usage(const char *argv0)
 {
     std::fprintf(
         stderr,
-        "usage: %s [--threads N] [--suite quick|full] [--scale F]\n"
+        "usage: %s [--threads N] [--suite SPEC] [--scale F]\n"
         "          [--csv FILE] [--json FILE] [--stats LIST]\n"
         "          [--progress|--no-progress]\n"
         "          [--mips] [--shard i/N] [--journal FILE]\n"
@@ -57,8 +58,11 @@ usage(const char *argv0)
         "          [--list]\n"
         "  --threads N   sweep worker threads (0 = all hardware\n"
         "                threads, the default; env HERMES_THREADS)\n"
-        "  --suite S     trace suite (default quick; env"
-        " HERMES_BENCH_SUITE)\n"
+        "  --suite S     trace suite: quick, full, or a comma list\n"
+        "                of trace specs (suite names,\n"
+        "                corpus.<generator>[:knob=value...],\n"
+        "                file:<path>); default quick; env"
+        " HERMES_BENCH_SUITE\n"
         "  --scale F     scale instruction budgets (env"
         " HERMES_SIM_SCALE)\n"
         "  --csv FILE    dump every simulated point as CSV on exit\n"
@@ -140,8 +144,14 @@ initCli(int argc, char **argv)
             g_cli.threads = parseIntOrUsage(value(), argv[0]);
         } else if (arg == "--suite") {
             g_cli.suiteName = value();
-            if (g_cli.suiteName != "quick" && g_cli.suiteName != "full")
-                usage(argv[0]);
+            // Fail fast on typos and bad corpus knobs/file paths:
+            // resolution errors surface here, not after setup work.
+            try {
+                resolveSuite(g_cli.suiteName);
+            } catch (const std::exception &e) {
+                std::fprintf(stderr, "error: %s\n", e.what());
+                std::exit(2);
+            }
         } else if (arg == "--scale") {
             setenv("HERMES_SIM_SCALE", value().c_str(), 1);
         } else if (arg == "--csv") {
@@ -247,7 +257,14 @@ suite()
         const char *env = std::getenv("HERMES_BENCH_SUITE");
         name = env != nullptr ? env : "quick";
     }
-    return name == "full" ? fullSuite() : quickSuite();
+    try {
+        return resolveSuite(name);
+    } catch (const std::exception &e) {
+        // Only reachable via HERMES_BENCH_SUITE; --suite validated in
+        // initCli().
+        std::fprintf(stderr, "error: %s\n", e.what());
+        std::exit(2);
+    }
 }
 
 namespace

@@ -57,9 +57,12 @@ recordTrace(const Config &cfg)
     const auto count = static_cast<std::uint64_t>(
         cfg.get("record_count", std::int64_t{1'000'000}));
     auto wl = findTrace(trace_name).make();
-    if (!writeTraceFile(out, *wl, count, trace_name,
-                        findTrace(trace_name).category())) {
-        std::fprintf(stderr, "failed to write %s\n", out.c_str());
+    try {
+        writeTraceFile(out, *wl, count, trace_name,
+                       findTrace(trace_name).category());
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "failed to write %s: %s\n", out.c_str(),
+                     e.what());
         return 1;
     }
     std::printf("recorded %llu instructions of %s into %s\n",

@@ -37,6 +37,7 @@
 #include "sim/stat_registry.hh"
 #include "sweep/axis.hh"
 #include "sweep/result_cache.hh"
+#include "trace/resolve.hh"
 #include "trace/suite.hh"
 
 namespace
@@ -59,9 +60,13 @@ usage(const char *argv0, int exit_code)
         "                   (--key=value also accepted; see --list-params)\n"
         "  --config FILE    .ini scenario file ('key = value' lines,\n"
         "                   '#' comments); command-line overrides win\n"
-        "  --trace NAME     workload trace, repeatable (one per core;\n"
-        "                   default %s)\n"
-        "  --mix A,B,...    comma-separated trace list (one per core)\n"
+        "  --trace SPEC     workload trace, repeatable (one per core;\n"
+        "                   default %s): a suite trace name,\n"
+        "                   corpus.<generator>[:knob=value...], or an\n"
+        "                   on-disk trace — file:<path> (HRMTRACE or\n"
+        "                   ChampSim, optionally .gz/.xz)\n"
+        "  --mix A,B,...    comma-separated trace-spec list (one per\n"
+        "                   core)\n"
         "  --warmup N       warmup instructions per core (default 100000)\n"
         "  --instrs N       measured instructions per core (default 400000)\n"
         "  --scale F        scale both budgets (env HERMES_SIM_SCALE)\n"
@@ -292,15 +297,8 @@ main(int argc, char **argv)
         if (opt.traceNames.empty())
             opt.traceNames.push_back(kDefaultTrace);
         std::vector<TraceSpec> traces;
-        for (const std::string &name : opt.traceNames) {
-            try {
-                traces.push_back(findTrace(name));
-            } catch (const std::out_of_range &) {
-                throw std::invalid_argument(
-                    "unknown trace '" + name +
-                    "' (see --list for the suite contents)");
-            }
-        }
+        for (const std::string &name : opt.traceNames)
+            traces.push_back(resolveTrace(name));
 
         // One trace per core unless a single trace is replicated; when
         // the scenario does not pin system.cores, the mix size implies

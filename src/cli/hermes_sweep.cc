@@ -55,6 +55,7 @@
 #include "sweep/result_cache.hh"
 #include "sweep/server.hh"
 #include "sweep/sweep.hh"
+#include "trace/resolve.hh"
 #include "trace/suite.hh"
 
 namespace
@@ -75,10 +76,13 @@ usage(const char *argv0, int exit_code)
         "                   (see --list for every key)\n"
         "  --axis SPEC      sweep axis \"key=v1,v2,...\" (repeatable;\n"
         "                   axes expand as a cartesian product)\n"
-        "  --suite S        one single-core point per trace of suite S\n"
-        "                   (quick|full; the default workload list)\n"
-        "  --trace NAME     one workload point (repeatable; replicated\n"
-        "                   across cores on multi-core configs)\n"
+        "  --suite S        one single-core point per trace of suite S:\n"
+        "                   quick|full (default quick), or a comma-\n"
+        "                   separated trace-spec list\n"
+        "  --trace SPEC     one workload point (repeatable; replicated\n"
+        "                   across cores on multi-core configs): suite\n"
+        "                   name, corpus.<gen>[:knob=value...], or\n"
+        "                   file:<path> (HRMTRACE/ChampSim, .gz/.xz)\n"
         "  --mix A,B,...    one multi-core point, one trace per core\n"
         "                   (repeatable)\n"
         "  --warmup N       warmup instructions per core (default 60000)\n"
@@ -228,8 +232,13 @@ parseCli(int argc, char **argv)
             opt.axisSpecs.push_back(value());
         } else if (arg == "--suite") {
             opt.suiteName = value();
-            if (opt.suiteName != "quick" && opt.suiteName != "full")
+            // Fail fast on typos/bad specs; buildGrid re-resolves.
+            try {
+                resolveSuite(opt.suiteName);
+            } catch (const std::exception &e) {
+                std::fprintf(stderr, "error: %s\n", e.what());
                 usage(argv[0], 2);
+            }
         } else if (arg == "--trace") {
             opt.traceNames.push_back(value());
         } else if (arg == "--mix") {
@@ -411,24 +420,14 @@ buildGrid(Options &opt)
     };
     std::vector<WorkloadEntry> workloads;
 
-    auto lookup = [](const std::string &name) -> TraceSpec {
-        try {
-            return findTrace(name);
-        } catch (const std::out_of_range &) {
-            throw std::invalid_argument(
-                "unknown trace '" + name +
-                "' (see --list for the suite contents)");
-        }
-    };
-
     for (const std::string &name : opt.traceNames)
-        workloads.push_back({name, {lookup(name)}});
+        workloads.push_back({name, {resolveTrace(name)}});
     for (std::size_t m = 0; m < opt.mixSpecs.size(); ++m) {
         WorkloadEntry e;
         std::string joined;
         for (const std::string &name :
              sweep::splitCommaList(opt.mixSpecs[m], "--mix list")) {
-            e.traces.push_back(lookup(name));
+            e.traces.push_back(resolveTrace(name));
             joined += (joined.empty() ? "" : "+") + name;
         }
         e.label = "mix" + std::to_string(m) + "." + joined;
@@ -437,8 +436,7 @@ buildGrid(Options &opt)
     if (workloads.empty()) {
         const std::string name =
             opt.suiteName.empty() ? "quick" : opt.suiteName;
-        for (const TraceSpec &t :
-             name == "full" ? fullSuite() : quickSuite())
+        for (const TraceSpec &t : resolveSuite(name))
             workloads.push_back({t.name(), {t}});
     } else if (!opt.suiteName.empty()) {
         throw std::invalid_argument(

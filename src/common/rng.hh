@@ -13,6 +13,16 @@
 namespace hermes
 {
 
+/** Stateless 64-bit mixer (splitmix64 finaliser) for derived values. */
+inline std::uint64_t
+mix64(std::uint64_t x)
+{
+    x += 0x9E3779B97F4A7C15ull;
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+    return x ^ (x >> 31);
+}
+
 /** xorshift128+ PRNG with splitmix64 seeding. */
 class Rng
 {

@@ -6,6 +6,7 @@
 
 #include "common/config.hh"
 #include "sim/model_registry.hh"
+#include "trace/corpus.hh"
 #include "trace/suite.hh"
 
 namespace hermes
@@ -711,6 +712,7 @@ describeScenarioSpace()
         for (const auto &spec : specs)
             out += "  " + spec.name() + " (" + spec.category() + ")\n";
     }
+    out += describeCorpus();
     out += "parameters (key  type  default  range  doc):\n";
     out += ParamRegistry::instance().describe();
     return out;

@@ -25,6 +25,7 @@
 #include "sim/simulator.hh"
 #include "sweep/axis.hh"
 #include "sweep/journal.hh"
+#include "trace/resolve.hh"
 #include "trace/suite.hh"
 
 namespace hermes::sweep
@@ -141,12 +142,7 @@ pointFromSpec(const std::string &spec)
     std::vector<TraceSpec> traces;
     std::string joined;
     for (const std::string &name : trace_names) {
-        try {
-            traces.push_back(findTrace(name));
-        } catch (const std::out_of_range &) {
-            throw std::invalid_argument("unknown trace '" + name +
-                                        "'");
-        }
+        traces.push_back(resolveTrace(name));
         joined += (joined.empty() ? "" : "+") + name;
     }
     // The same conventions as the CLIs: a mix implies its core count
@@ -193,8 +189,16 @@ specFromPoint(const GridPoint &point)
     spec += ";warmup=" + std::to_string(point.budget.warmupInstrs);
     spec += ";instrs=" + std::to_string(point.budget.simInstrs);
     std::string traces;
-    for (const TraceSpec &t : point.traces)
-        traces += (traces.empty() ? "" : ",") + t.name();
+    for (const TraceSpec &t : point.traces) {
+        // Trace names join into one comma-separated field, so a name
+        // (e.g. a file: path) must not carry the list separator.
+        if (t.name().find(',') != std::string::npos)
+            throw std::invalid_argument(
+                "trace name cannot carry ',' in a scenario spec: '" +
+                t.name() + "'");
+        traces += (traces.empty() ? "" : ",") + checked(t.name(),
+                                                        "trace name");
+    }
     spec += ";trace=" + traces;
     // The full registry rendering (not a delta): pointFromSpec then
     // reconstructs the identical config whatever the defaults are.

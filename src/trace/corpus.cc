@@ -1,0 +1,375 @@
+#include "trace/corpus.hh"
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/config.hh"
+
+namespace hermes
+{
+
+namespace
+{
+
+constexpr const char *kPrefix = "corpus.";
+
+void
+setFootprintMb(SyntheticParams &p, double v)
+{
+    p.footprintBytes = static_cast<std::uint64_t>(v) << 20;
+}
+
+void setSeed(SyntheticParams &p, double v)
+{
+    p.seed = static_cast<std::uint64_t>(v);
+}
+
+void setAlu(SyntheticParams &p, double v)
+{
+    p.aluPerMemop = static_cast<unsigned>(v);
+}
+
+void setStride(SyntheticParams &p, double v)
+{
+    p.strideBytes = static_cast<unsigned>(v);
+}
+
+void setMlp(SyntheticParams &p, double v)
+{
+    p.loadMlp = static_cast<unsigned>(v);
+}
+
+void setStoreFrac(SyntheticParams &p, double v) { p.storeFraction = v; }
+
+void setBranchFrac(SyntheticParams &p, double v)
+{
+    p.dataBranchFraction = v;
+}
+
+void setChains(SyntheticParams &p, double v)
+{
+    p.chaseChains = static_cast<unsigned>(v);
+}
+
+void setHitFrac(SyntheticParams &p, double v) { p.hitLoadFraction = v; }
+
+void setDegree(SyntheticParams &p, double v)
+{
+    p.graphAvgDegree = static_cast<unsigned>(v);
+}
+
+void setDataStride(SyntheticParams &p, double v)
+{
+    p.graphDataStride = static_cast<unsigned>(v);
+}
+
+void setGatherHotFrac(SyntheticParams &p, double v)
+{
+    p.gatherHotFraction = v;
+}
+
+void setColdFrac(SyntheticParams &p, double v)
+{
+    p.mixColdFraction = v;
+}
+
+// Shared knob rows (tables repeat them so each generator lists only
+// what it honours, in a stable documented order).
+constexpr CorpusKnob kSeed = {"seed", "generator RNG seed", 0, 1e15,
+                              true, setSeed};
+constexpr CorpusKnob kFootprint = {
+    "footprint_mb", "main working-set size in MiB", 1, 1 << 16, true,
+    setFootprintMb};
+constexpr CorpusKnob kAlu = {"alu", "ALU ops per memory op", 0, 64,
+                             true, setAlu};
+constexpr CorpusKnob kStoreFrac = {
+    "store_frac", "probability a block also stores", 0, 1, false,
+    setStoreFrac};
+constexpr CorpusKnob kBranchFrac = {
+    "branch_frac", "probability of a data-dependent branch", 0, 1,
+    false, setBranchFrac};
+constexpr CorpusKnob kMlp = {
+    "mlp", "load-level-parallelism bound (0 = unlimited)", 0, 256,
+    true, setMlp};
+constexpr CorpusKnob kStride = {"stride", "sweep stride in bytes", 1,
+                                4096, true, setStride};
+
+void
+chaseDefaults(SyntheticParams &p)
+{
+    p.pattern = Pattern::PointerChase;
+    p.chaseChains = 2;
+    p.aluPerMemop = 8;
+    p.hitLoadFraction = 0.4;
+}
+
+void
+streamDefaults(SyntheticParams &p)
+{
+    p.pattern = Pattern::Stream;
+    p.strideBytes = 8;
+    p.aluPerMemop = 6;
+    p.loadMlp = 16;
+}
+
+void
+gatherDefaults(SyntheticParams &p)
+{
+    p.pattern = Pattern::GraphGather;
+    p.graphAvgDegree = 8;
+    p.graphDataStride = 64;
+    p.gatherHotFraction = 0.85;
+    p.aluPerMemop = 8;
+    p.loadMlp = 10;
+}
+
+void
+mlpDefaults(SyntheticParams &p)
+{
+    p.pattern = Pattern::Stream;
+    p.strideBytes = 8;
+    p.aluPerMemop = 2;
+    p.loadMlp = 48;
+}
+
+void
+tlbDefaults(SyntheticParams &p)
+{
+    // Uniform random probes over a multi-GB table: every access lands
+    // on a fresh 4KB page, stressing TLB/page-locality behaviour.
+    p.pattern = Pattern::HashProbe;
+    p.footprintBytes = 2048ull << 20;
+    p.probeTableHotFraction = 0.0;
+    p.probeHotFraction = 0.0;
+    p.warmBytes = 8ull << 20;
+    p.aluPerMemop = 6;
+}
+
+void
+mixDefaults(SyntheticParams &p)
+{
+    p.pattern = Pattern::MixedCompute;
+    p.mixColdFraction = 0.25;
+    p.aluPerMemop = 8;
+    p.loadMlp = 12;
+}
+
+std::vector<CorpusGenerator>
+buildGenerators()
+{
+    return {
+        {"chase", "dependent pointer chase (mcf/canneal-like)",
+         chaseDefaults,
+         {kFootprint,
+          {"chains", "independent chase chains interleaved", 1, 4,
+           true, setChains},
+          {"hit_frac", "extra always-hitting loads per block", 0, 1,
+           false, setHitFrac},
+          kAlu, kStoreFrac, kBranchFrac, kSeed}},
+        {"stream", "dense sequential sweep (lbm-like)", streamDefaults,
+         {kFootprint, kStride, kMlp, kAlu, kStoreFrac, kBranchFrac,
+          kSeed}},
+        {"gather",
+         "edge scan + random vertex gather (Ligra-like)",
+         gatherDefaults,
+         {kFootprint,
+          {"degree", "average vertex out-degree", 1, 64, true,
+           setDegree},
+          {"data_stride", "bytes gathered per vertex", 8, 4096, true,
+           setDataStride},
+          {"hot_frac", "fraction of gathers into the hot subset", 0, 1,
+           false, setGatherHotFrac},
+          kAlu, kStoreFrac, kSeed}},
+        {"mlp", "high memory-level-parallelism sweep", mlpDefaults,
+         {kFootprint, kMlp, kStride, kAlu, kSeed}},
+        {"tlb",
+         "uniform random probes over a multi-GB table "
+         "(TLB/page-irregular)",
+         tlbDefaults, {kFootprint, kAlu, kStoreFrac, kSeed}},
+        {"mix",
+         "weighted accesses over L1/L2/LLC/DRAM working sets "
+         "(gcc-like)",
+         mixDefaults,
+         {kFootprint,
+          {"cold_frac", "probability of touching the DRAM array", 0, 1,
+           false, setColdFrac},
+          kMlp, kAlu, kBranchFrac, kSeed}},
+    };
+}
+
+/** Nearest candidate by edit distance, for typo suggestions. */
+template <typename Names>
+std::string
+nearest(const std::string &needle, const Names &names)
+{
+    std::string best;
+    std::size_t best_dist = static_cast<std::size_t>(-1);
+    for (const auto &n : names) {
+        const std::size_t d = editDistance(needle, n);
+        if (d < best_dist) {
+            best_dist = d;
+            best = n;
+        }
+    }
+    return best_dist <= 3 ? best : std::string();
+}
+
+[[noreturn]] void
+failSpec(const std::string &spec, const std::string &why,
+         const std::string &suggestion = std::string())
+{
+    std::string msg = "corpus spec '" + spec + "': " + why;
+    if (!suggestion.empty())
+        msg += " (did you mean '" + suggestion + "'?)";
+    throw std::invalid_argument(msg);
+}
+
+std::string
+formatKnobValue(const CorpusKnob &knob, double value)
+{
+    char buf[32];
+    if (knob.integer)
+        std::snprintf(buf, sizeof(buf), "%llu",
+                      static_cast<unsigned long long>(value));
+    else
+        std::snprintf(buf, sizeof(buf), "%g", value);
+    return buf;
+}
+
+} // namespace
+
+const std::vector<CorpusGenerator> &
+corpusGenerators()
+{
+    static const std::vector<CorpusGenerator> generators =
+        buildGenerators();
+    return generators;
+}
+
+bool
+isCorpusSpec(const std::string &spec)
+{
+    return spec.rfind(kPrefix, 0) == 0;
+}
+
+TraceSpec
+makeCorpusTrace(const std::string &spec)
+{
+    if (!isCorpusSpec(spec))
+        failSpec(spec, "missing 'corpus.' prefix");
+
+    // Split on ':' — the first field names the generator, the rest
+    // are knob=value settings.
+    std::vector<std::string> fields;
+    std::size_t start = 0;
+    while (start <= spec.size()) {
+        const std::size_t colon = spec.find(':', start);
+        const std::size_t end =
+            colon == std::string::npos ? spec.size() : colon;
+        fields.push_back(spec.substr(start, end - start));
+        if (colon == std::string::npos)
+            break;
+        start = colon + 1;
+    }
+
+    const std::string gen_name = fields[0].substr(std::strlen(kPrefix));
+    const CorpusGenerator *gen = nullptr;
+    for (const auto &g : corpusGenerators())
+        if (gen_name == g.name) {
+            gen = &g;
+            break;
+        }
+    if (gen == nullptr) {
+        std::vector<std::string> names;
+        for (const auto &g : corpusGenerators())
+            names.push_back(g.name);
+        failSpec(spec, "unknown generator '" + gen_name + "'",
+                 nearest(gen_name, names));
+    }
+
+    SyntheticParams params;
+    gen->defaults(params);
+
+    // Values keyed by knob-table position, so the canonical name lists
+    // knobs in one stable order however the user spelled the spec.
+    std::vector<double> values(gen->knobs.size());
+    std::vector<bool> set(gen->knobs.size(), false);
+    for (std::size_t f = 1; f < fields.size(); ++f) {
+        const std::string &field = fields[f];
+        const std::size_t eq = field.find('=');
+        if (field.empty() || eq == std::string::npos || eq == 0)
+            failSpec(spec, "expected knob=value, got '" + field + "'");
+        const std::string key = field.substr(0, eq);
+        const std::string value_str = field.substr(eq + 1);
+
+        std::size_t idx = gen->knobs.size();
+        for (std::size_t k = 0; k < gen->knobs.size(); ++k)
+            if (key == gen->knobs[k].key) {
+                idx = k;
+                break;
+            }
+        if (idx == gen->knobs.size()) {
+            std::vector<std::string> keys;
+            for (const auto &k : gen->knobs)
+                keys.push_back(k.key);
+            failSpec(spec,
+                     "generator '" + gen_name + "' has no knob '" +
+                         key + "'",
+                     nearest(key, keys));
+        }
+        if (set[idx])
+            failSpec(spec, "duplicate knob '" + key + "'");
+
+        const CorpusKnob &knob = gen->knobs[idx];
+        const auto parsed = parseFiniteDouble(value_str);
+        if (!parsed)
+            failSpec(spec, "knob '" + key + "': invalid number '" +
+                               value_str + "'");
+        const double v = *parsed;
+        if (knob.integer && v != std::floor(v))
+            failSpec(spec, "knob '" + key + "': expected an integer, "
+                           "got '" + value_str + "'");
+        if (v < knob.min || v > knob.max)
+            failSpec(spec, "knob '" + key + "': " + value_str +
+                               " out of range [" +
+                               formatKnobValue(knob, knob.min) + ", " +
+                               formatKnobValue(knob, knob.max) + "]");
+        values[idx] = v;
+        set[idx] = true;
+    }
+
+    std::string canonical = std::string(kPrefix) + gen->name;
+    for (std::size_t k = 0; k < gen->knobs.size(); ++k) {
+        if (!set[k])
+            continue;
+        gen->knobs[k].apply(params, values[k]);
+        canonical += ':';
+        canonical += gen->knobs[k].key;
+        canonical += '=';
+        canonical += formatKnobValue(gen->knobs[k], values[k]);
+    }
+
+    params.name = canonical;
+    params.category = "CORPUS";
+    return TraceSpec{std::move(params)};
+}
+
+std::string
+describeCorpus()
+{
+    std::ostringstream out;
+    out << "Corpus generators (corpus.<name>[:knob=value]...):\n";
+    for (const auto &g : corpusGenerators()) {
+        out << "  corpus." << g.name << " — " << g.doc << "\n";
+        for (const auto &k : g.knobs)
+            out << "    " << k.key << " — " << k.doc << " ["
+                << formatKnobValue(k, k.min) << ".."
+                << formatKnobValue(k, k.max) << "]\n";
+    }
+    return out.str();
+}
+
+} // namespace hermes

@@ -1,0 +1,70 @@
+#pragma once
+
+/**
+ * @file
+ * Declarative workload corpus: named, parameterized synthetic
+ * generators driven entirely by strings, so new workloads need no
+ * recompilation — `hermes_run --trace corpus.chase:footprint_mb=512`
+ * instantiates a half-GB pointer chase on the spot.
+ *
+ * Grammar (':'-separated so specs compose with the comma-separated
+ * trace lists and the sweep server's ';'-separated point specs):
+ *
+ *   corpus.<generator>[:<knob>=<value>]...
+ *
+ * e.g. corpus.gather:degree=16:footprint_mb=256:seed=7
+ *
+ * Each generator exposes a fixed knob table (range-checked, with
+ * nearest-key suggestions on typos, mirroring the param registry).
+ * The *canonical* spec — knobs reordered into table order with
+ * normalized value formatting — becomes the trace name, so two
+ * spellings of the same workload share one identity everywhere a
+ * trace name matters (reports, result-cache keys, pointFingerprint).
+ */
+
+#include <string>
+#include <vector>
+
+#include "trace/suite.hh"
+
+namespace hermes
+{
+
+/** One string-settable parameter of a corpus generator. */
+struct CorpusKnob
+{
+    const char *key;
+    const char *doc;
+    double min;
+    double max;
+    bool integer;
+    void (*apply)(SyntheticParams &params, double value);
+};
+
+/** A named generator family and its knob table. */
+struct CorpusGenerator
+{
+    const char *name; ///< Spec prefix after "corpus." (e.g. "chase")
+    const char *doc;
+    void (*defaults)(SyntheticParams &params);
+    std::vector<CorpusKnob> knobs;
+};
+
+/** All registered generators, in listing order. */
+const std::vector<CorpusGenerator> &corpusGenerators();
+
+/** True when @p spec names a corpus workload ("corpus." prefix). */
+bool isCorpusSpec(const std::string &spec);
+
+/**
+ * Parse a corpus spec into a ready-to-run TraceSpec whose name is the
+ * canonical spec string and whose category is "CORPUS".
+ * @throws std::invalid_argument naming the offending generator, knob
+ *         or value (with a nearest-name suggestion where possible).
+ */
+TraceSpec makeCorpusTrace(const std::string &spec);
+
+/** Human-readable generator/knob reference (docs gate + --list). */
+std::string describeCorpus();
+
+} // namespace hermes

@@ -1,0 +1,131 @@
+#include "trace/resolve.hh"
+
+#include <cstring>
+#include <stdexcept>
+
+#include <sys/stat.h>
+
+#include "common/config.hh"
+#include "trace/corpus.hh"
+#include "trace/trace_file.hh"
+
+namespace hermes
+{
+
+namespace
+{
+
+bool
+endsWith(const std::string &s, const char *suffix)
+{
+    const std::size_t n = std::strlen(suffix);
+    return s.size() >= n && s.compare(s.size() - n, n, suffix) == 0;
+}
+
+/**
+ * Heuristic for bare paths given without the "file:" prefix: anything
+ * with a directory separator, or a bare file name that actually exists
+ * with a trace-like extension. A bare word that matches neither stays
+ * a (mistyped) suite-trace name — "no.such.trace" should suggest suite
+ * names, not report a failed open; spell it "file:no.such.trace" to
+ * force the file path and get the precise I/O error.
+ */
+bool
+looksLikePath(const std::string &s)
+{
+    if (s.find('/') != std::string::npos)
+        return true;
+    for (const char *ext : {".hrm", ".trace", ".champsim",
+                            ".champsimtrace", ".gz", ".xz", ".bin"}) {
+        if (!endsWith(s, ext))
+            continue;
+        struct stat st;
+        return ::stat(s.c_str(), &st) == 0;
+    }
+    return false;
+}
+
+TraceSpec
+fileTrace(const std::string &path)
+{
+    TraceSpec spec;
+    spec.source = TraceSource::File;
+    spec.filePath = path;
+    spec.params.name = "file:" + path;
+    // Open and header-validate now, so a missing file or torn header
+    // fails at resolve time, not minutes into a sweep.
+    TraceReader reader(openByteSource(path), formatForPath(path));
+    const TraceMeta &meta = reader.meta();
+    if (meta.format == TraceFormat::ChampSim)
+        spec.params.category = "CHAMPSIM";
+    else
+        spec.params.category =
+            meta.category.empty() ? "FILE" : meta.category;
+    return spec;
+}
+
+} // namespace
+
+TraceSpec
+resolveTrace(const std::string &spec)
+{
+    if (spec.empty())
+        throw std::invalid_argument("empty trace spec");
+    if (isCorpusSpec(spec))
+        return makeCorpusTrace(spec);
+    if (spec.rfind("file:", 0) == 0)
+        return fileTrace(spec.substr(5));
+    try {
+        return findTrace(spec);
+    } catch (const std::out_of_range &) {
+        // fall through to the path heuristic / suggestion below
+    }
+    if (looksLikePath(spec))
+        return fileTrace(spec);
+
+    std::string best;
+    std::size_t best_dist = static_cast<std::size_t>(-1);
+    for (const auto &t : fullSuite()) {
+        const std::size_t d = editDistance(spec, t.name());
+        if (d < best_dist) {
+            best_dist = d;
+            best = t.name();
+        }
+    }
+    std::string msg = "unknown trace '" + spec + "'";
+    if (best_dist <= 3)
+        msg += " (did you mean '" + best + "'?)";
+    msg += "; expected a suite trace name, "
+           "corpus.<generator>[:knob=value...], or file:<path>";
+    throw std::invalid_argument(msg);
+}
+
+std::vector<TraceSpec>
+resolveSuite(const std::string &spec)
+{
+    if (spec == "full")
+        return fullSuite();
+    if (spec == "quick")
+        return quickSuite();
+    std::vector<TraceSpec> out;
+    std::size_t start = 0;
+    while (start <= spec.size()) {
+        const std::size_t comma = spec.find(',', start);
+        const std::size_t end =
+            comma == std::string::npos ? spec.size() : comma;
+        const std::string item = spec.substr(start, end - start);
+        if (!item.empty())
+            out.push_back(resolveTrace(item));
+        if (comma == std::string::npos)
+            break;
+        start = comma + 1;
+    }
+    if (out.empty())
+        throw std::invalid_argument(
+            "empty suite spec (expected quick, full, or a "
+            "comma-separated trace list)");
+    validateUniqueTraceNames(out);
+    return out;
+}
+
+} // namespace hermes

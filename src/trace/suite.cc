@@ -1,6 +1,9 @@
 #include "trace/suite.hh"
 
 #include <stdexcept>
+#include <unordered_set>
+
+#include "trace/trace_file.hh"
 
 namespace hermes
 {
@@ -8,7 +11,19 @@ namespace hermes
 std::unique_ptr<Workload>
 TraceSpec::make() const
 {
+    if (source == TraceSource::File)
+        return std::make_unique<FileWorkload>(filePath);
     return std::make_unique<SyntheticWorkload>(params);
+}
+
+void
+validateUniqueTraceNames(const std::vector<TraceSpec> &suite)
+{
+    std::unordered_set<std::string> seen;
+    for (const auto &spec : suite)
+        if (!seen.insert(spec.name()).second)
+            throw std::invalid_argument("duplicate trace name in suite: " +
+                                        spec.name());
 }
 
 namespace
@@ -287,6 +302,7 @@ buildFullSuite()
         suite.push_back(TraceSpec{std::move(q)});
     }
 
+    validateUniqueTraceNames(suite);
     return suite;
 }
 

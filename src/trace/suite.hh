@@ -19,10 +19,26 @@
 namespace hermes
 {
 
-/** A named trace: category + generator parameters. */
+/** Where a TraceSpec's instructions come from. */
+enum class TraceSource : std::uint8_t
+{
+    Synthetic, ///< Generated from SyntheticParams
+    File,      ///< Streamed from an on-disk trace (filePath)
+};
+
+/**
+ * A named trace: category + generator parameters, or a file replay.
+ * The name is the trace's identity everywhere (reports, result-cache
+ * keys, pointFingerprint); file traces use "file:<path>".
+ */
 struct TraceSpec
 {
     SyntheticParams params;
+    TraceSource source = TraceSource::Synthetic;
+    std::string filePath;
+
+    TraceSpec() = default;
+    explicit TraceSpec(SyntheticParams p) : params(std::move(p)) {}
 
     const std::string &name() const { return params.name; }
     const std::string &category() const { return params.category; }
@@ -42,5 +58,13 @@ std::vector<std::string> suiteCategories();
 
 /** Look a trace up by name; throws std::out_of_range if unknown. */
 TraceSpec findTrace(const std::string &name);
+
+/**
+ * Reject duplicate trace names in a suite: names are trace identity
+ * (fingerprints, result-cache keys, per-trace stats), so a duplicate
+ * silently merges two workloads. Throws std::invalid_argument naming
+ * the colliding trace.
+ */
+void validateUniqueTraceNames(const std::vector<TraceSpec> &suite);
 
 } // namespace hermes

@@ -18,16 +18,6 @@ regionBase(unsigned region_id)
     return (static_cast<Addr>(region_id) + 1) << 32;
 }
 
-/** Stateless 64-bit mixer (splitmix64 finaliser) for derived values. */
-std::uint64_t
-mix64(std::uint64_t x)
-{
-    x += 0x9E3779B97F4A7C15ull;
-    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
-    x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
-    return x ^ (x >> 31);
-}
-
 /**
  * Full-period LCG step modulo 2^k: multiplier ≡ 1 (mod 4), odd
  * increment. Used as a fixed pointer-graph successor function so chases

@@ -1,161 +1,61 @@
 #include "trace/trace_file.hh"
 
-#include <cstdio>
-#include <cstring>
 #include <stdexcept>
+
+#include "common/rng.hh"
+#include "trace/trace_io.hh"
 
 namespace hermes
 {
 
-namespace
-{
-
-/** On-disk record layout (fixed 24 bytes). */
-struct DiskRecord
-{
-    std::uint64_t pc;
-    std::uint64_t vaddr;
-    std::uint32_t depDistance;
-    std::uint8_t kind;
-    std::uint8_t branchTaken;
-    std::uint16_t pad;
-};
-static_assert(sizeof(DiskRecord) == 24, "unexpected record padding");
-
-bool
-writeBytes(std::FILE *f, const void *data, std::size_t size)
-{
-    return std::fwrite(data, 1, size, f) == size;
-}
-
-bool
-writeString(std::FILE *f, const std::string &s)
-{
-    const auto len = static_cast<std::uint32_t>(s.size());
-    return writeBytes(f, &len, sizeof(len)) &&
-           writeBytes(f, s.data(), s.size());
-}
-
-bool
-readBytes(std::FILE *f, void *data, std::size_t size)
-{
-    return std::fread(data, 1, size, f) == size;
-}
-
-bool
-readString(std::FILE *f, std::string &out)
-{
-    std::uint32_t len = 0;
-    if (!readBytes(f, &len, sizeof(len)) || len > (1u << 20))
-        return false;
-    out.resize(len);
-    return len == 0 || readBytes(f, out.data(), len);
-}
-
-struct FileCloser
-{
-    void operator()(std::FILE *f) const
-    {
-        if (f != nullptr)
-            std::fclose(f);
-    }
-};
-
-using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
-
-} // namespace
-
-bool
+std::uint64_t
 writeTraceFile(const std::string &path, Workload &workload,
                std::uint64_t count, const std::string &name,
                const std::string &category)
 {
-    FilePtr f(std::fopen(path.c_str(), "wb"));
-    if (!f)
-        return false;
-
-    const std::uint32_t version = kTraceVersion;
-    const std::uint32_t reserved = 0;
-    if (!writeBytes(f.get(), kTraceMagic, sizeof(kTraceMagic)) ||
-        !writeBytes(f.get(), &version, sizeof(version)) ||
-        !writeBytes(f.get(), &reserved, sizeof(reserved)) ||
-        !writeString(f.get(), name) || !writeString(f.get(), category) ||
-        !writeBytes(f.get(), &count, sizeof(count)))
-        return false;
-
-    for (std::uint64_t i = 0; i < count; ++i) {
-        const TraceInstr t = workload.next();
-        DiskRecord rec{};
-        rec.pc = t.pc;
-        rec.vaddr = t.vaddr;
-        rec.depDistance = t.depDistance;
-        rec.kind = static_cast<std::uint8_t>(t.kind);
-        rec.branchTaken = t.branchTaken ? 1 : 0;
-        if (!writeBytes(f.get(), &rec, sizeof(rec)))
-            return false;
-    }
-    return true;
+    auto writer =
+        openTraceWriter(path, formatForPath(path),
+                        compressionForPath(path), count, name, category);
+    for (std::uint64_t i = 0; i < count; ++i)
+        writer->append(workload.next());
+    writer->finish();
+    return writer->droppedDeps();
 }
 
 FileWorkload::FileWorkload(const std::string &path) : path_(path)
 {
-    FilePtr f(std::fopen(path.c_str(), "rb"));
-    if (!f)
-        throw std::runtime_error("cannot open trace file: " + path);
-
-    char magic[8];
-    std::uint32_t version = 0, reserved = 0;
-    if (!readBytes(f.get(), magic, sizeof(magic)) ||
-        std::memcmp(magic, kTraceMagic, sizeof(magic)) != 0)
-        throw std::runtime_error("not a Hermes trace file: " + path);
-    if (!readBytes(f.get(), &version, sizeof(version)) ||
-        version != kTraceVersion)
-        throw std::runtime_error("unsupported trace version in " + path);
-    if (!readBytes(f.get(), &reserved, sizeof(reserved)) ||
-        !readString(f.get(), name_) || !readString(f.get(), category_))
-        throw std::runtime_error("corrupt trace header in " + path);
-
-    std::uint64_t count = 0;
-    if (!readBytes(f.get(), &count, sizeof(count)) || count == 0)
-        throw std::runtime_error("empty or corrupt trace: " + path);
-
-    // Validate the header's record count against the actual file size
-    // before reserving: a corrupt count must fail cleanly instead of
-    // attempting a multi-exabyte allocation.
-    const long record_start = std::ftell(f.get());
-    if (record_start < 0 || std::fseek(f.get(), 0, SEEK_END) != 0)
-        throw std::runtime_error("cannot size trace file: " + path);
-    const long file_end = std::ftell(f.get());
-    if (file_end < record_start ||
-        std::fseek(f.get(), record_start, SEEK_SET) != 0)
-        throw std::runtime_error("cannot size trace file: " + path);
-    const std::uint64_t available =
-        static_cast<std::uint64_t>(file_end - record_start);
-    if (count > available / sizeof(DiskRecord))
-        throw std::runtime_error("truncated trace file: " + path);
-
-    records_.reserve(count);
-    for (std::uint64_t i = 0; i < count; ++i) {
-        DiskRecord rec{};
-        if (!readBytes(f.get(), &rec, sizeof(rec)))
-            throw std::runtime_error("truncated trace file: " + path);
-        if (rec.kind > static_cast<std::uint8_t>(InstrKind::Branch))
-            throw std::runtime_error("corrupt record in " + path);
-        TraceInstr t;
-        t.pc = rec.pc;
-        t.vaddr = rec.vaddr;
-        t.depDistance = rec.depDistance;
-        t.kind = static_cast<InstrKind>(rec.kind);
-        t.branchTaken = rec.branchTaken != 0;
-        records_.push_back(t);
+    reader_ = std::make_unique<TraceReader>(openByteSource(path),
+                                            formatForPath(path));
+    const TraceMeta &meta = reader_->meta();
+    if (meta.format == TraceFormat::Hrmtrace) {
+        name_ = meta.name;
+        category_ = meta.category;
+        instrCount_ = meta.recordCount;
+        return;
     }
+    // ChampSim traces carry no header: scan the stream once so every
+    // record is validated and the loop length is known, then rewind.
+    name_ = path.substr(path.find_last_of('/') + 1);
+    category_ = "CHAMPSIM";
+    TraceInstr t;
+    while (reader_->next(t))
+        ++instrCount_;
+    if (instrCount_ == 0)
+        throw std::runtime_error("empty champsim trace: " + path);
+    reader_->rewind();
 }
 
 TraceInstr
 FileWorkload::next()
 {
-    const TraceInstr t = records_[pos_];
-    pos_ = (pos_ + 1) % records_.size();
+    if (pos_ == instrCount_) {
+        reader_->rewind();
+        pos_ = 0;
+    }
+    TraceInstr t;
+    if (!reader_->next(t))
+        throw std::runtime_error("trace ended early: " + path_);
+    ++pos_;
     return t;
 }
 
@@ -166,13 +66,32 @@ FileWorkload::clone(std::uint64_t seed_offset) const
     copy->path_ = path_;
     copy->name_ = name_;
     copy->category_ = category_;
-    copy->records_ = records_;
+    copy->instrCount_ = instrCount_;
+    copy->reader_ = std::make_unique<TraceReader>(
+        openByteSource(path_), formatForPath(path_));
     // Start replicas at a rotated position so multi-core copies of the
-    // same file do not run in lockstep.
-    copy->pos_ = records_.empty()
-                     ? 0
-                     : (seed_offset * 9973) % records_.size();
+    // same file do not run in lockstep. mix64 decorrelates the start
+    // from the raw offset (the old offset*9973 scheme collapsed every
+    // replica onto position 0 whenever the record count divided the
+    // product); the fallback keeps distinct nonzero offsets off the
+    // base workload's start position.
+    std::uint64_t start = 0;
+    if (seed_offset > 0 && instrCount_ > 1) {
+        start = mix64(seed_offset) % instrCount_;
+        if (start == 0)
+            start = 1 + (seed_offset - 1) % (instrCount_ - 1);
+    }
+    TraceInstr t;
+    for (std::uint64_t i = 0; i < start; ++i)
+        static_cast<void>(copy->reader_->next(t));
+    copy->pos_ = start;
     return copy;
+}
+
+std::size_t
+FileWorkload::residentBytes() const
+{
+    return sizeof(*this) + reader_->residentBytes();
 }
 
 } // namespace hermes

@@ -1,0 +1,108 @@
+#pragma once
+
+/**
+ * @file
+ * Byte-stream layer under the trace readers and writers: buffered file
+ * sources and crash-safe sinks with transparent gzip/xz compression.
+ *
+ * Compression is detected by magic bytes on the read side (never by
+ * file name), and chosen by file extension on the write side (".gz",
+ * ".xz"). The codecs stream through fixed-size buffers, so a source
+ * over a multi-GB compressed trace stays O(100KB) resident.
+ *
+ * zlib and liblzma are optional build dependencies: when the build
+ * lacks one, opening a stream of that compression throws a
+ * std::runtime_error naming the missing library (the formats are
+ * still *detected* so the error is precise, not a parse failure).
+ */
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+namespace hermes
+{
+
+/** Stream compression schemes the trace layer understands. */
+enum class Compression : std::uint8_t
+{
+    None,
+    Gzip, ///< RFC 1952 (magic 1f 8b), via zlib
+    Xz,   ///< .xz container (magic fd '7zXZ' 00), via liblzma
+};
+
+/** Human-readable codec name ("none", "gzip", "xz"). */
+const char *compressionName(Compression c);
+
+/** True when this build can encode/decode @p c. */
+bool compressionSupported(Compression c);
+
+/** Codec implied by a file name's extension (".gz", ".xz"). */
+Compression compressionForPath(const std::string &path);
+
+/**
+ * Sequential byte stream with rewind. read() fills up to @p size
+ * bytes and returns the count; 0 means clean end-of-stream. Corrupt
+ * or truncated compressed data throws std::runtime_error.
+ */
+class ByteSource
+{
+  public:
+    virtual ~ByteSource() = default;
+
+    virtual std::size_t read(void *data, std::size_t size) = 0;
+
+    /** Restart the stream from the first byte. */
+    virtual void rewind() = 0;
+
+    /** The underlying file path (for error messages). */
+    virtual const std::string &path() const = 0;
+
+    /** Detected compression scheme. */
+    virtual Compression compression() const = 0;
+
+    /**
+     * Size of the *decompressed* stream when cheaply known
+     * (uncompressed files: the file size); -1 otherwise.
+     */
+    virtual std::int64_t sizeHint() const = 0;
+};
+
+/**
+ * Open @p path, sniff the compression magic and return a decompressing
+ * source. Throws std::runtime_error when the file cannot be opened or
+ * the detected codec is not compiled in.
+ */
+std::unique_ptr<ByteSource> openByteSource(const std::string &path);
+
+/**
+ * Crash-safe byte sink: bytes stream into a hidden temporary next to
+ * the destination; finish() flushes the codec, fsyncs and atomically
+ * renames into place, so a crash at any earlier point leaves either
+ * the old file or nothing — never a torn trace. Destroying an
+ * unfinished sink discards the temporary.
+ */
+class ByteSink
+{
+  public:
+    virtual ~ByteSink() = default;
+
+    /** Append bytes; throws std::runtime_error on I/O errors. */
+    virtual void write(const void *data, std::size_t size) = 0;
+
+    /** Flush, fsync and publish the file. Call exactly once. */
+    virtual void finish() = 0;
+
+    virtual const std::string &path() const = 0;
+};
+
+/**
+ * Create a sink writing @p path with @p compression (pass
+ * compressionForPath(path) for extension-driven choice). Throws when
+ * the codec is not compiled in or the temporary cannot be created.
+ */
+std::unique_ptr<ByteSink> openByteSink(const std::string &path,
+                                       Compression compression);
+
+} // namespace hermes

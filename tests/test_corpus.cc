@@ -1,0 +1,229 @@
+// Tests for the declarative workload corpus and the unified trace
+// resolver: spec canonicalization (knob order / value formatting
+// never fork a trace identity), knob validation with suggestions,
+// and the resolver contract — suite names resolve exactly as before
+// the resolver existed (fingerprint safety), corpus and file specs
+// resolve to runnable workloads, and malformed specs fail with
+// actionable errors.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <stdexcept>
+#include <string>
+
+#include "trace/corpus.hh"
+#include "trace/resolve.hh"
+#include "trace/suite.hh"
+#include "trace/trace_file.hh"
+
+namespace hermes
+{
+namespace
+{
+
+std::string
+thrownMessage(const std::string &spec)
+{
+    try {
+        resolveTrace(spec);
+    } catch (const std::invalid_argument &e) {
+        return e.what();
+    }
+    return "";
+}
+
+TEST(Corpus, KnobOrderDoesNotForkIdentity)
+{
+    const TraceSpec a =
+        makeCorpusTrace("corpus.chase:seed=7:footprint_mb=64");
+    const TraceSpec b =
+        makeCorpusTrace("corpus.chase:footprint_mb=64:seed=7");
+    EXPECT_EQ(a.name(), b.name());
+    EXPECT_EQ(a.category(), "CORPUS");
+}
+
+TEST(Corpus, ValueFormattingDoesNotForkIdentity)
+{
+    const TraceSpec a = makeCorpusTrace("corpus.chase:hit_frac=0.50");
+    const TraceSpec b = makeCorpusTrace("corpus.chase:hit_frac=0.5");
+    EXPECT_EQ(a.name(), b.name());
+}
+
+TEST(Corpus, DefaultsOmittedFromCanonicalName)
+{
+    const TraceSpec bare = makeCorpusTrace("corpus.stream");
+    EXPECT_EQ(bare.name(), "corpus.stream");
+}
+
+TEST(Corpus, SameSpecSameStream)
+{
+    const TraceSpec a = makeCorpusTrace("corpus.gather:degree=4:seed=9");
+    const TraceSpec b = makeCorpusTrace("corpus.gather:degree=4:seed=9");
+    auto wa = a.make();
+    auto wb = b.make();
+    for (int i = 0; i < 2000; ++i) {
+        const TraceInstr x = wa->next();
+        const TraceInstr y = wb->next();
+        ASSERT_EQ(x.pc, y.pc) << i;
+        ASSERT_EQ(x.vaddr, y.vaddr) << i;
+    }
+}
+
+TEST(Corpus, KnobChangesStream)
+{
+    auto a = makeCorpusTrace("corpus.chase:footprint_mb=4").make();
+    auto b = makeCorpusTrace("corpus.chase:footprint_mb=64").make();
+    bool differs = false;
+    for (int i = 0; i < 5000 && !differs; ++i)
+        differs = a->next().vaddr != b->next().vaddr;
+    EXPECT_TRUE(differs);
+}
+
+TEST(Corpus, UnknownGeneratorSuggestsNearest)
+{
+    EXPECT_NE(thrownMessage("corpus.chse").find("chase"),
+              std::string::npos);
+}
+
+TEST(Corpus, UnknownKnobSuggestsNearest)
+{
+    EXPECT_NE(thrownMessage("corpus.chase:footprnt_mb=8")
+                  .find("footprint_mb"),
+              std::string::npos);
+}
+
+TEST(Corpus, RejectsOutOfRangeValue)
+{
+    EXPECT_THROW(makeCorpusTrace("corpus.chase:footprint_mb=0"),
+                 std::invalid_argument);
+    EXPECT_THROW(makeCorpusTrace("corpus.chase:hit_frac=1.5"),
+                 std::invalid_argument);
+}
+
+TEST(Corpus, RejectsNonIntegerForIntegerKnob)
+{
+    EXPECT_THROW(makeCorpusTrace("corpus.gather:degree=2.5"),
+                 std::invalid_argument);
+}
+
+TEST(Corpus, RejectsDuplicateKnob)
+{
+    EXPECT_THROW(makeCorpusTrace("corpus.chase:seed=1:seed=2"),
+                 std::invalid_argument);
+}
+
+TEST(Corpus, RejectsMalformedPair)
+{
+    EXPECT_THROW(makeCorpusTrace("corpus.chase:seed"),
+                 std::invalid_argument);
+    EXPECT_THROW(makeCorpusTrace("corpus.chase:seed=abc"),
+                 std::invalid_argument);
+}
+
+TEST(Corpus, EveryGeneratorProducesRunnableWorkload)
+{
+    for (const auto &g : corpusGenerators()) {
+        const TraceSpec spec =
+            makeCorpusTrace(std::string("corpus.") + g.name);
+        auto w = spec.make();
+        int loads = 0;
+        for (int i = 0; i < 5000; ++i)
+            if (w->next().kind == InstrKind::Load)
+                ++loads;
+        EXPECT_GT(loads, 0) << g.name;
+    }
+}
+
+TEST(Corpus, DescribeListsEveryGeneratorAndKnob)
+{
+    const std::string doc = describeCorpus();
+    for (const auto &g : corpusGenerators()) {
+        EXPECT_NE(doc.find(std::string("corpus.") + g.name),
+                  std::string::npos)
+            << g.name;
+        for (const auto &k : g.knobs)
+            EXPECT_NE(doc.find(k.key), std::string::npos)
+                << g.name << ":" << k.key;
+    }
+}
+
+TEST(Resolver, SuiteNamesResolveUnchanged)
+{
+    // Identity safety: the resolver must hand back suite traces with
+    // the exact names the golden fingerprints were pinned against.
+    for (const TraceSpec &t : fullSuite()) {
+        const TraceSpec r = resolveTrace(t.name());
+        EXPECT_EQ(r.name(), t.name());
+        EXPECT_EQ(r.category(), t.category());
+        EXPECT_EQ(static_cast<int>(r.source),
+                  static_cast<int>(TraceSource::Synthetic));
+    }
+}
+
+TEST(Resolver, UnknownNameSuggestsNearestSuiteTrace)
+{
+    const std::string msg = thrownMessage("spec06.mcf_like.9");
+    EXPECT_NE(msg.find("spec06.mcf_like"), std::string::npos);
+}
+
+TEST(Resolver, EmptySpecThrows)
+{
+    EXPECT_THROW(resolveTrace(""), std::invalid_argument);
+}
+
+TEST(Resolver, FileSpecResolvesAndValidatesEagerly)
+{
+    const std::string path =
+        ::testing::TempDir() + "corpus_resolver_test.hrm";
+    auto w = makeCorpusTrace("corpus.stream").make();
+    ASSERT_EQ(0u, writeTraceFile(path, *w, 200, "corpus.stream",
+                                 "CORPUS"));
+
+    const TraceSpec spec = resolveTrace("file:" + path);
+    EXPECT_EQ(static_cast<int>(spec.source),
+              static_cast<int>(TraceSource::File));
+    EXPECT_EQ(spec.name(), "file:" + path);
+    auto replay = spec.make();
+    EXPECT_EQ(replay->name(), "corpus.stream");
+
+    // A bad path must fail at resolve time, not mid-sweep.
+    EXPECT_THROW(resolveTrace("file:/nonexistent/trace.hrm"),
+                 std::runtime_error);
+    std::remove(path.c_str());
+}
+
+TEST(Resolver, SuiteSpecsQuickFullAndLists)
+{
+    EXPECT_EQ(resolveSuite("quick").size(), quickSuite().size());
+    EXPECT_EQ(resolveSuite("full").size(), fullSuite().size());
+
+    const auto list =
+        resolveSuite("spec06.mcf_like.0,corpus.chase:seed=3");
+    ASSERT_EQ(list.size(), 2u);
+    EXPECT_EQ(list[0].name(), "spec06.mcf_like.0");
+    EXPECT_EQ(list[1].name(), "corpus.chase:seed=3");
+
+    EXPECT_THROW(resolveSuite(""), std::invalid_argument);
+    EXPECT_THROW(resolveSuite("fulll"), std::invalid_argument);
+}
+
+TEST(Resolver, SuiteRejectsDuplicateNames)
+{
+    EXPECT_THROW(resolveSuite("spec06.mcf_like.0,spec06.mcf_like.0"),
+                 std::invalid_argument);
+    // Two spellings of one corpus workload are the same trace.
+    EXPECT_THROW(
+        resolveSuite("corpus.chase:seed=1:footprint_mb=64,"
+                     "corpus.chase:footprint_mb=64:seed=1"),
+        std::invalid_argument);
+}
+
+TEST(Resolver, BuiltInSuitesHaveUniqueNames)
+{
+    EXPECT_NO_THROW(validateUniqueTraceNames(fullSuite()));
+    EXPECT_NO_THROW(validateUniqueTraceNames(quickSuite()));
+}
+
+} // namespace
+} // namespace hermes

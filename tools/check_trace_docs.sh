@@ -1,0 +1,62 @@
+#!/usr/bin/env bash
+# Docs-freshness gate for the trace ecosystem: the fenced block under
+# "### Corpus reference" in README.md must be the verbatim output of
+# `hermes_trace corpus`. Run after adding a corpus generator or knob
+# (regenerate the block with that command); CI's determinism job runs
+# this against the freshly built binary.
+#
+# Usage: tools/check_trace_docs.sh [path/to/hermes_trace]
+#   (default binary: build/hermes_trace relative to the repo root)
+
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+trace_bin="${1:-$repo_root/build/hermes_trace}"
+
+actual="$(mktemp)"
+expected="$(mktemp)"
+trap 'rm -f "$actual" "$expected"' EXIT
+
+"$trace_bin" corpus >"$actual"
+
+# The reference block is the first bare ``` fence after the heading
+# (example blocks are fenced as ```sh).
+python3 - "$repo_root/README.md" >"$expected" <<'EOF'
+import sys
+
+lines = open(sys.argv[1]).read().splitlines(keepends=True)
+in_section = False
+in_block = capture = found = False
+for line in lines:
+    stripped = line.rstrip("\n")
+    if line.startswith("### Corpus reference"):
+        in_section = True
+        continue
+    if not in_section:
+        continue
+    if not in_block:
+        if stripped.startswith("```"):
+            in_block = True
+            capture = stripped == "```" and not found
+            found = found or capture
+        continue
+    if stripped == "```":
+        if capture:
+            break
+        in_block = capture = False
+        continue
+    if capture:
+        sys.stdout.write(line)
+if not found:
+    sys.exit("README.md: no corpus reference block found")
+EOF
+
+if ! diff -u "$expected" "$actual"; then
+    echo >&2
+    echo "README corpus reference is stale: regenerate the" >&2
+    echo "\"### Corpus reference\" code block from" >&2
+    echo "\`hermes_trace corpus\` output." >&2
+    exit 1
+fi
+
+echo "trace docs OK (corpus reference in sync)"
