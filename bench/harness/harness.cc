@@ -15,6 +15,7 @@
 #include "trace/resolve.hh"
 #include "sim/report.hh"
 #include "sim/stat_registry.hh"
+#include "sim/warmup_cache.hh"
 #include "sweep/journal.hh"
 #include "sweep/result_cache.hh"
 
@@ -33,6 +34,7 @@ std::mutex g_all_results_mutex;
 /** Orchestration state: journal writer, resumed segments, cursor. */
 std::unique_ptr<sweep::JournalWriter> g_journal;
 std::unique_ptr<sweep::ResultCache> g_cache;
+std::unique_ptr<WarmupCache> g_warmup_cache;
 std::vector<sweep::JournalSegment> g_resume;
 std::size_t g_segment_index = 0;
 bool g_last_grid_complete = true;
@@ -55,6 +57,7 @@ usage(const char *argv0)
         "          [--progress|--no-progress]\n"
         "          [--mips] [--shard i/N] [--journal FILE]\n"
         "          [--resume FILE]... [--cache SPEC] [--no-cache]\n"
+        "          [--warmup-cache SPEC] [--no-warmup-cache]\n"
         "          [--list]\n"
         "  --threads N   sweep worker threads (0 = all hardware\n"
         "                threads, the default; env HERMES_THREADS)\n"
@@ -84,6 +87,13 @@ usage(const char *argv0)
         "                cached points load instead of simulating\n"
         "                (env HERMES_RESULT_CACHE)\n"
         "  --no-cache    ignore HERMES_RESULT_CACHE\n"
+        "  --warmup-cache SPEC\n"
+        "                warmup checkpoint store (same SPEC syntax);\n"
+        "                points sharing a warmup identity restore the\n"
+        "                warmed state instead of re-warming\n"
+        "                (env HERMES_WARMUP_CACHE)\n"
+        "  --no-warmup-cache\n"
+        "                ignore HERMES_WARMUP_CACHE\n"
         "  --list        print available predictors, prefetchers,\n"
         "                suites and registry parameters, then exit\n",
         argv0);
@@ -132,6 +142,7 @@ initCli(int argc, char **argv)
     if (const char *env = std::getenv("HERMES_THREADS"))
         g_cli.threads = parseIntOrUsage(env, argv[0]);
     bool no_cache = false;
+    bool no_warmup_cache = false;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -189,6 +200,10 @@ initCli(int argc, char **argv)
             g_cli.cacheSpec = value();
         } else if (arg == "--no-cache") {
             no_cache = true;
+        } else if (arg == "--warmup-cache") {
+            g_cli.warmupCacheSpec = value();
+        } else if (arg == "--no-warmup-cache") {
+            no_warmup_cache = true;
         } else if (arg == "--list") {
             std::printf("%s", describeScenarioSpace().c_str());
             std::exit(0);
@@ -239,6 +254,20 @@ initCli(int argc, char **argv)
         }
     }
 
+    if (g_cli.warmupCacheSpec.empty() && !no_warmup_cache)
+        if (const char *env = std::getenv("HERMES_WARMUP_CACHE"))
+            g_cli.warmupCacheSpec = env;
+    g_warmup_cache.reset();
+    if (!g_cli.warmupCacheSpec.empty()) {
+        try {
+            g_warmup_cache = std::make_unique<WarmupCache>(
+                parseWarmupCacheSpec(g_cli.warmupCacheSpec));
+        } catch (const std::exception &e) {
+            std::fprintf(stderr, "error: %s\n", e.what());
+            std::exit(1);
+        }
+    }
+
     if (!g_cli.csvPath.empty() || !g_cli.jsonPath.empty())
         std::atexit(flushSweepDumps);
 }
@@ -275,6 +304,7 @@ engineOptions()
 {
     sweep::SweepOptions opts;
     opts.threads = g_cli.threads;
+    opts.warmupCache = g_warmup_cache.get();
     if (g_cli.progress) {
         // One meter per fan-out so the rate/ETA restart with each grid.
         auto meter = std::make_shared<sweep::ProgressMeter>();

@@ -40,7 +40,13 @@
  *                  HERMES_RESULT_CACHE; --no-cache ignores the env):
  *                  points the store already holds load instead of
  *                  simulating, and every completion is stored back, so
- *                  overlapping figure grids and re-runs share work.
+ *                  overlapping figure grids and re-runs share work;
+ *  --warmup-cache SPEC
+ *                  shared warmup checkpoint store (same SPEC syntax;
+ *                  env HERMES_WARMUP_CACHE, --no-warmup-cache ignores
+ *                  it): grid points with the same warmup identity
+ *                  restore the warmed state instead of re-warming
+ *                  (sim/warmup_cache.hh).
  */
 
 #include <cstdint>
@@ -93,6 +99,12 @@ struct CliOptions
      * --no-cache was not given). See sweep/result_cache.hh.
      */
     std::string cacheSpec;
+    /**
+     * Warmup checkpoint store spec (same syntax); "" means none
+     * (unless HERMES_WARMUP_CACHE names one and --no-warmup-cache was
+     * not given). See sim/warmup_cache.hh.
+     */
+    std::string warmupCacheSpec;
 };
 
 /**
@@ -128,9 +140,10 @@ runGrid(const std::vector<sweep::GridPoint> &grid);
 /** True when every point of the last runGrid() call holds real stats. */
 bool gridComplete();
 
-/** Simulation budget honouring HERMES_SIM_SCALE. */
-SimBudget budget(std::uint64_t warmup = 60'000,
-                 std::uint64_t sim = 250'000);
+/** Simulation budget honouring HERMES_SIM_SCALE; the defaults are the
+ * shared per-point sweep windows (SimBudget::sweepDefaults). */
+SimBudget budget(std::uint64_t warmup = SimBudget::sweepDefaults().warmupInstrs,
+                 std::uint64_t sim = SimBudget::sweepDefaults().simInstrs);
 
 /** Named baseline configurations (single core unless stated). */
 SystemConfig cfgNoPrefetch();

@@ -550,4 +550,115 @@ Cache::probeMshr(Addr line) const
     return findMshrSlot(line) != AddrIndex::kNotFound;
 }
 
+void
+Cache::saveRing(StateWriter &w, const Ring<QueueEntry> &ring)
+{
+    w.u64(ring.size());
+    for (std::size_t i = 0; i < ring.size(); ++i) {
+        saveMemRequest(w, ring.at(i).req);
+        w.u64(ring.at(i).readyAt);
+    }
+}
+
+void
+Cache::loadRing(StateReader &r, Ring<QueueEntry> &ring)
+{
+    ring.clear();
+    const std::size_t n = r.count(1u << 20);
+    for (std::size_t i = 0; i < n; ++i) {
+        QueueEntry e;
+        loadMemRequest(r, e.req);
+        e.readyAt = r.u64();
+        ring.push_back(e);
+    }
+}
+
+void
+Cache::saveState(StateWriter &w) const
+{
+    w.section("CACH");
+    // Identity guard: a checkpoint for a differently-shaped cache must
+    // fail here, not corrupt state downstream.
+    w.str(params_.name);
+    w.u64(tags_.size());
+    for (Addr t : tags_)
+        w.u64(t);
+    for (std::uint8_t f : lineFlags_)
+        w.u8(f);
+    w.u64(mshrs_.size());
+    for (const Mshr &m : mshrs_) {
+        w.b(m.sentToLower);
+        w.b(m.fillDirty);
+        w.b(m.originPrefetch);
+        w.b(m.demandMerged);
+        w.u64(m.line);
+        saveMemRequest(w, m.fetchReq);
+        w.u64(m.waiters.size());
+        for (const MemRequest &req : m.waiters)
+            saveMemRequest(w, req);
+    }
+    w.u64(freeMask_.size());
+    for (std::uint64_t mask : freeMask_)
+        w.u64(mask);
+    for (std::uint64_t mask : unsentMask_)
+        w.u64(mask);
+    w.u32(usedMshrs_);
+    w.u32(unsentMshrs_);
+    saveRing(w, rq_);
+    saveRing(w, wq_);
+    saveRing(w, pq_);
+    w.u64(now_);
+    repl_->saveState(w);
+}
+
+void
+Cache::loadState(StateReader &r)
+{
+    r.section("CACH");
+    if (r.str() != params_.name)
+        throw StateError("cache name mismatch");
+    if (r.u64() != tags_.size())
+        throw StateError("cache tag array size mismatch");
+    for (Addr &t : tags_)
+        t = r.u64();
+    for (std::uint8_t &f : lineFlags_)
+        f = r.u8();
+    if (r.u64() != mshrs_.size())
+        throw StateError("cache mshr file size mismatch");
+    for (Mshr &m : mshrs_) {
+        m.sentToLower = r.b();
+        m.fillDirty = r.b();
+        m.originPrefetch = r.b();
+        m.demandMerged = r.b();
+        m.line = r.u64();
+        loadMemRequest(r, m.fetchReq);
+        m.waiters.clear();
+        const std::size_t nw = r.count(1u << 16);
+        m.waiters.resize(nw);
+        for (MemRequest &req : m.waiters)
+            loadMemRequest(r, req);
+    }
+    if (r.u64() != freeMask_.size())
+        throw StateError("cache mshr mask size mismatch");
+    for (std::uint64_t &mask : freeMask_)
+        mask = r.u64();
+    for (std::uint64_t &mask : unsentMask_)
+        mask = r.u64();
+    usedMshrs_ = r.u32();
+    unsentMshrs_ = r.u32();
+    loadRing(r, rq_);
+    loadRing(r, wq_);
+    loadRing(r, pq_);
+    now_ = r.u64();
+    repl_->loadState(r);
+    // The line->slot index is derived: rebuild it over occupied slots.
+    mshrIndex_.clear();
+    for (std::uint32_t slot = 0; slot < mshrs_.size(); ++slot) {
+        const bool free =
+            (freeMask_[slot >> 6] >> (slot & 63)) & 1u;
+        if (!free)
+            mshrIndex_.insert(mshrs_[slot].line, slot);
+    }
+}
+
 } // namespace hermes

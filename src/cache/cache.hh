@@ -169,6 +169,15 @@ class Cache final : public MemDevice, public MemClient
     /** Replacement-metadata bits (storage report). */
     std::uint64_t replStorageBits() const { return repl_->storageBits(); }
 
+    /**
+     * Warmup checkpoint hooks. The cache is checkpointable iff its
+     * replacement policy opted in (registry policies that don't are a
+     * clean "no checkpoint", never a wrong one).
+     */
+    bool checkpointable() const { return repl_->checkpointable(); }
+    void saveState(StateWriter &w) const;
+    void loadState(StateReader &r);
+
     /** LLC hook: a line was filled from DRAM into the hierarchy. */
     std::function<void(Addr line)> onFillFromDram;
     /** LLC hook: a valid line was evicted. */
@@ -202,6 +211,9 @@ class Cache final : public MemDevice, public MemClient
         MemRequest req;
         Cycle readyAt = 0;
     };
+
+    static void saveRing(StateWriter &w, const Ring<QueueEntry> &ring);
+    static void loadRing(StateReader &r, Ring<QueueEntry> &ring);
 
     std::uint32_t setIndex(Addr line) const;
     /** Find way of a resident line; returns ways on miss. */

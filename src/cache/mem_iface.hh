@@ -15,6 +15,7 @@
 
 #include <cstdint>
 
+#include "common/state_io.hh"
 #include "common/types.hh"
 
 namespace hermes
@@ -57,6 +58,37 @@ struct MemRequest
 
     Addr line() const { return lineAddr(address); }
 };
+
+/** Checkpoint codec for the request record (queues, MSHRs, DRAM). */
+inline void
+saveMemRequest(StateWriter &w, const MemRequest &req)
+{
+    w.u64(req.id);
+    w.u64(req.address);
+    w.u64(req.pc);
+    w.i32(req.coreId);
+    w.u8(static_cast<std::uint8_t>(req.type));
+    w.u64(req.instrId);
+    w.u64(req.cycleCreated);
+    w.u64(req.cycleMcArrive);
+    w.u8(static_cast<std::uint8_t>(req.servedFrom));
+    w.b(req.servedByHermes);
+}
+
+inline void
+loadMemRequest(StateReader &r, MemRequest &req)
+{
+    req.id = r.u64();
+    req.address = r.u64();
+    req.pc = r.u64();
+    req.coreId = r.i32();
+    req.type = static_cast<AccessType>(r.u8());
+    req.instrId = r.u64();
+    req.cycleCreated = r.u64();
+    req.cycleMcArrive = r.u64();
+    req.servedFrom = static_cast<MemLevel>(r.u8());
+    req.servedByHermes = r.b();
+}
 
 /** Receiver of completed read responses (a cache above, or the core). */
 class MemClient

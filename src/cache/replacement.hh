@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "cache/mem_iface.hh"
+#include "common/state_io.hh"
 #include "common/types.hh"
 
 namespace hermes
@@ -67,6 +68,14 @@ class ReplacementPolicy
 
     /** Metadata storage in bits (for the storage report). */
     virtual std::uint64_t storageBits() const = 0;
+
+    /**
+     * Warmup checkpoint hooks. A policy that does not opt in simply
+     * disables checkpointing for its cache (never a wrong checkpoint).
+     */
+    virtual bool checkpointable() const { return false; }
+    virtual void saveState(StateWriter &) const {}
+    virtual void loadState(StateReader &) {}
 };
 
 /** Classic least-recently-used via per-line access timestamps. */
@@ -117,6 +126,29 @@ class LruPolicy final : public ReplacementPolicy
         while ((1u << bits) < ways_)
             ++bits;
         return static_cast<std::uint64_t>(stamp_.size()) * bits;
+    }
+
+    bool checkpointable() const override { return true; }
+
+    void
+    saveState(StateWriter &w) const override
+    {
+        w.section("RLRU");
+        w.u64(clock_);
+        w.u64(stamp_.size());
+        for (std::uint64_t s : stamp_)
+            w.u64(s);
+    }
+
+    void
+    loadState(StateReader &r) override
+    {
+        r.section("RLRU");
+        clock_ = r.u64();
+        if (r.u64() != stamp_.size())
+            throw StateError("lru stamp array size mismatch");
+        for (std::uint64_t &s : stamp_)
+            s = r.u64();
     }
 
   private:
@@ -176,8 +208,41 @@ class SrripPolicy : public ReplacementPolicy
         return static_cast<std::uint64_t>(rrpv_.size()) * 2;
     }
 
+    bool checkpointable() const override { return true; }
+
+    void
+    saveState(StateWriter &w) const override
+    {
+        w.section("RSRP");
+        saveRrpv(w);
+    }
+
+    void
+    loadState(StateReader &r) override
+    {
+        r.section("RSRP");
+        loadRrpv(r);
+    }
+
   protected:
     static constexpr std::uint8_t kMaxRrpv = 3;
+
+    void
+    saveRrpv(StateWriter &w) const
+    {
+        w.u64(rrpv_.size());
+        for (std::uint8_t v : rrpv_)
+            w.u8(v);
+    }
+
+    void
+    loadRrpv(StateReader &r)
+    {
+        if (r.u64() != rrpv_.size())
+            throw StateError("rrip rrpv array size mismatch");
+        for (std::uint8_t &v : rrpv_)
+            v = r.u8();
+    }
 
     std::uint32_t ways_;
     std::vector<std::uint8_t> rrpv_;
@@ -242,6 +307,41 @@ class ShipPolicy final : public SrripPolicy
                static_cast<std::uint64_t>(sig_.size()) * 14 + // signature
                static_cast<std::uint64_t>(reused_.size()) +   // outcome bit
                static_cast<std::uint64_t>(shct_.size()) * 2;  // SHCT
+    }
+
+    void
+    saveState(StateWriter &w) const override
+    {
+        w.section("RSHP");
+        saveRrpv(w);
+        w.u64(sig_.size());
+        for (std::uint16_t s : sig_)
+            w.u16(s);
+        w.u64(reused_.size());
+        for (std::size_t i = 0; i < reused_.size(); ++i)
+            w.b(reused_[i]);
+        w.u64(shct_.size());
+        for (std::uint8_t c : shct_)
+            w.u8(c);
+    }
+
+    void
+    loadState(StateReader &r) override
+    {
+        r.section("RSHP");
+        loadRrpv(r);
+        if (r.u64() != sig_.size())
+            throw StateError("ship signature array size mismatch");
+        for (std::uint16_t &s : sig_)
+            s = r.u16();
+        if (r.u64() != reused_.size())
+            throw StateError("ship reuse-bit array size mismatch");
+        for (std::size_t i = 0; i < reused_.size(); ++i)
+            reused_[i] = r.b();
+        if (r.u64() != shct_.size())
+            throw StateError("ship shct size mismatch");
+        for (std::uint8_t &c : shct_)
+            c = r.u8();
     }
 
   private:

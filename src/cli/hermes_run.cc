@@ -35,6 +35,7 @@
 #include "sim/report.hh"
 #include "sim/simulator.hh"
 #include "sim/stat_registry.hh"
+#include "sim/warmup_cache.hh"
 #include "sweep/axis.hh"
 #include "sweep/result_cache.hh"
 #include "trace/resolve.hh"
@@ -75,6 +76,13 @@ usage(const char *argv0, int exit_code)
         "                   cached scenario loads instead of simulating\n"
         "                   (env HERMES_RESULT_CACHE)\n"
         "  --no-cache       ignore HERMES_RESULT_CACHE\n"
+        "  --warmup-cache SPEC\n"
+        "                   warmup checkpoint store (same SPEC syntax);\n"
+        "                   a matching warmup identity restores the\n"
+        "                   warmed state instead of re-warming\n"
+        "                   (env HERMES_WARMUP_CACHE)\n"
+        "  --no-warmup-cache\n"
+        "                   ignore HERMES_WARMUP_CACHE\n"
         "\n"
         "output:\n"
         "  --label NAME     row label for CSV/JSON (default: trace names)\n"
@@ -105,11 +113,13 @@ struct Options
 {
     Config overrides;
     std::vector<std::string> traceNames;
-    std::uint64_t warmup = 100'000;
-    std::uint64_t instrs = 400'000;
+    std::uint64_t warmup = SimBudget::runDefaults().warmupInstrs;
+    std::uint64_t instrs = SimBudget::runDefaults().simInstrs;
     std::string label;
     std::string cacheSpec;
     bool noCache = false;
+    std::string warmupCacheSpec;
+    bool noWarmupCache = false;
     std::string csvPath;
     std::string jsonPath;
     std::string statsSpec;
@@ -150,7 +160,8 @@ parseCli(int argc, char **argv)
                 for (const char *o :
                      {"--config", "--trace", "--mix", "--warmup",
                       "--instrs", "--scale", "--label", "--cache",
-                      "--csv", "--json", "--stats"}) {
+                      "--warmup-cache", "--csv", "--json",
+                      "--stats"}) {
                     if (name == o) {
                         has_inline = true;
                         inline_val = arg.substr(eq + 1);
@@ -242,6 +253,10 @@ parseCli(int argc, char **argv)
             opt.cacheSpec = value();
         } else if (arg == "--no-cache") {
             opt.noCache = true;
+        } else if (arg == "--warmup-cache") {
+            opt.warmupCacheSpec = value();
+        } else if (arg == "--no-warmup-cache") {
+            opt.noWarmupCache = true;
         } else if (arg == "--csv") {
             opt.csvPath = value();
         } else if (arg == "--json") {
@@ -282,6 +297,12 @@ parseCli(int argc, char **argv)
         std::fprintf(stderr,
                      "error: only one of --fingerprint, --csv - and "
                      "--json - can claim stdout\n");
+        usage(argv[0], 2);
+    }
+    if (opt.noWarmupCache && !opt.warmupCacheSpec.empty()) {
+        std::fprintf(stderr,
+                     "error: --warmup-cache and --no-warmup-cache are "
+                     "mutually exclusive\n");
         usage(argv[0], 2);
     }
     return opt;
@@ -355,6 +376,15 @@ main(int argc, char **argv)
             cache = std::make_unique<sweep::ResultCache>(
                 sweep::parseResultCacheSpec(cache_spec));
 
+        std::string warmup_spec = opt.warmupCacheSpec;
+        if (warmup_spec.empty() && !opt.noWarmupCache)
+            if (const char *env = std::getenv("HERMES_WARMUP_CACHE"))
+                warmup_spec = env;
+        std::unique_ptr<WarmupCache> warmup_cache;
+        if (!warmup_spec.empty())
+            warmup_cache = std::make_unique<WarmupCache>(
+                parseWarmupCacheSpec(warmup_spec));
+
         RunStats stats;
         std::optional<sweep::PointResult> hit;
         if (cache)
@@ -363,7 +393,8 @@ main(int argc, char **argv)
             stats = std::move(hit->stats);
         } else {
             const auto t0 = std::chrono::steady_clock::now();
-            stats = simulate(cfg, traces, budget);
+            SimSession session(cfg, traces, budget);
+            stats = runSession(session, warmup_cache.get());
             if (cache) {
                 sweep::PointResult r;
                 r.index = 0;

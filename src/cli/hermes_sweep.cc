@@ -50,6 +50,7 @@
 #include "sim/param_registry.hh"
 #include "sim/report.hh"
 #include "sim/stat_registry.hh"
+#include "sim/warmup_cache.hh"
 #include "sweep/axis.hh"
 #include "sweep/journal.hh"
 #include "sweep/result_cache.hh"
@@ -110,6 +111,15 @@ usage(const char *argv0, int exit_code)
         "                   cached points load instead of simulating\n"
         "                   (env HERMES_RESULT_CACHE)\n"
         "  --no-cache       ignore HERMES_RESULT_CACHE\n"
+        "  --warmup-cache SPEC\n"
+        "                   warmup checkpoint store (same SPEC syntax);\n"
+        "                   points sharing a warmup identity restore the\n"
+        "                   warmed state instead of re-warming — pair\n"
+        "                   with hermes.warmup_issue=false to sweep\n"
+        "                   hermes.issue_latency on one warmup\n"
+        "                   (env HERMES_WARMUP_CACHE)\n"
+        "  --no-warmup-cache\n"
+        "                   ignore HERMES_WARMUP_CACHE\n"
         "  --serve SOCK     serve a job queue on unix socket SOCK\n"
         "                   (--threads workers; ctrl-C or a client\n"
         "                   \"shutdown\" request stops it)\n"
@@ -151,8 +161,8 @@ struct Options
     std::string suiteName;
     std::vector<std::string> traceNames;
     std::vector<std::string> mixSpecs;
-    std::uint64_t warmup = 60'000;
-    std::uint64_t instrs = 250'000;
+    std::uint64_t warmup = SimBudget::sweepDefaults().warmupInstrs;
+    std::uint64_t instrs = SimBudget::sweepDefaults().simInstrs;
 
     sweep::ShardSpec shard;
     std::string journalPath;
@@ -163,6 +173,8 @@ struct Options
 
     std::string cacheSpec;
     bool noCache = false;
+    std::string warmupCacheSpec;
+    bool noWarmupCache = false;
     std::string servePath;
     std::string stateDir;
     std::string submitTo;
@@ -286,6 +298,10 @@ parseCli(int argc, char **argv)
             opt.cacheSpec = value();
         } else if (arg == "--no-cache") {
             opt.noCache = true;
+        } else if (arg == "--warmup-cache") {
+            opt.warmupCacheSpec = value();
+        } else if (arg == "--no-warmup-cache") {
+            opt.noWarmupCache = true;
         } else if (arg == "--serve") {
             opt.servePath = value();
         } else if (arg == "--state") {
@@ -353,6 +369,12 @@ parseCli(int argc, char **argv)
                      "exclusive\n");
         usage(argv[0], 2);
     }
+    if (opt.noWarmupCache && !opt.warmupCacheSpec.empty()) {
+        std::fprintf(stderr,
+                     "error: --warmup-cache and --no-warmup-cache are "
+                     "mutually exclusive\n");
+        usage(argv[0], 2);
+    }
     if (!opt.clientPath.empty() && opt.requests.empty()) {
         std::fprintf(stderr,
                      "error: --client needs at least one --request\n");
@@ -401,6 +423,19 @@ openCache(const Options &opt)
         return nullptr;
     return std::make_unique<sweep::ResultCache>(
         sweep::parseResultCacheSpec(spec));
+}
+
+/** The warmup-checkpoint analogue (--warmup-cache, HERMES_WARMUP_CACHE). */
+std::unique_ptr<WarmupCache>
+openWarmupCache(const Options &opt)
+{
+    std::string spec = opt.warmupCacheSpec;
+    if (spec.empty() && !opt.noWarmupCache)
+        if (const char *env = std::getenv("HERMES_WARMUP_CACHE"))
+            spec = env;
+    if (spec.empty())
+        return nullptr;
+    return std::make_unique<WarmupCache>(parseWarmupCacheSpec(spec));
 }
 
 /**
@@ -504,6 +539,7 @@ main(int argc, char **argv)
         }
 
         std::unique_ptr<sweep::ResultCache> cache = openCache(opt);
+        std::unique_ptr<WarmupCache> warmupCache = openWarmupCache(opt);
 
         // Server mode: hold a job queue open until a client asks it to
         // shut down. Results persist in the cache; pending submissions
@@ -710,6 +746,7 @@ main(int argc, char **argv)
                             std::fprintf(stderr, "\n");
                     };
             }
+            eopts.warmupCache = warmupCache.get();
             sweep::OrchestrateOptions oopts;
             oopts.shard = opt.shard;
             oopts.resume = resume.get();
@@ -732,6 +769,14 @@ main(int argc, char **argv)
                          : (std::to_string(run.missing()) +
                             " points missing")
                                .c_str());
+        if (warmupCache) {
+            const WarmupCacheStats &wc = warmupCache->stats();
+            std::fprintf(stderr,
+                         "warmup-cache: %zu warmed, %zu restored "
+                         "(%zu stored, %zu rejected, %zu evicted)\n",
+                         wc.misses, wc.hits, wc.stores, wc.rejected,
+                         wc.evicted);
+        }
 
         if (opt.mips) {
             std::uint64_t instrs = 0;

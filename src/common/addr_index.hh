@@ -81,6 +81,14 @@ class AddrIndex
         slots_[hole] = kEmpty;
     }
 
+    /** Drop every mapping (checkpoint restore rebuilds from content). */
+    void
+    clear()
+    {
+        for (std::uint32_t &s : slots_)
+            s = kEmpty;
+    }
+
     static constexpr std::uint32_t kNotFound = 0xFFFFFFFFu;
 
   private:

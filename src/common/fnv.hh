@@ -1,0 +1,61 @@
+#pragma once
+
+/**
+ * @file
+ * Incremental FNV-1a over 64-bit words and length-prefixed strings:
+ * the one hash behind the whole golden-fingerprint family
+ * (statsFingerprint, the sweep journal's point/space fingerprints,
+ * sweepFingerprint, the warmup-checkpoint fingerprint and the
+ * checkpoint payload checksum). Keep every fingerprint on this class
+ * so the pinned goldens can never diverge between sites.
+ */
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace hermes
+{
+
+class Fnv64
+{
+  public:
+    void
+    add(std::uint64_t v)
+    {
+        for (int i = 0; i < 8; ++i)
+            byte((v >> (8 * i)) & 0xFF);
+    }
+
+    void
+    add(const std::string &s)
+    {
+        // Length first so "ab"+"c" and "a"+"bc" hash apart.
+        add(static_cast<std::uint64_t>(s.size()));
+        for (unsigned char c : s)
+            byte(c);
+    }
+
+    /** Raw bytes, no length prefix (the checkpoint stream checksum). */
+    void
+    addBytes(const void *data, std::size_t size)
+    {
+        const auto *p = static_cast<const unsigned char *>(data);
+        for (std::size_t i = 0; i < size; ++i)
+            byte(p[i]);
+    }
+
+    std::uint64_t value() const { return h_; }
+
+  private:
+    void
+    byte(std::uint64_t b)
+    {
+        h_ ^= b;
+        h_ *= 0x100000001B3ull;
+    }
+
+    std::uint64_t h_ = 0xCBF29CE484222325ull;
+};
+
+} // namespace hermes

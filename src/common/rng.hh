@@ -73,6 +73,24 @@ class Rng
     /** Bernoulli draw with probability p of returning true. */
     bool chance(double p) { return uniform() < p; }
 
+    /** The two raw state words, for checkpoint serialization. */
+    struct State
+    {
+        std::uint64_t s0 = 0;
+        std::uint64_t s1 = 0;
+    };
+
+    State state() const { return {s0_, s1_}; }
+
+    void
+    setState(const State &s)
+    {
+        s0_ = s.s0;
+        s1_ = s.s1;
+        if (s0_ == 0 && s1_ == 0)
+            s1_ = 1;
+    }
+
   private:
     std::uint64_t s0_ = 0;
     std::uint64_t s1_ = 0;

@@ -1,0 +1,82 @@
+#include "common/state_io.hh"
+
+#include "trace/trace_io.hh"
+
+namespace hermes
+{
+
+void
+StateWriter::bytes(const void *data, std::size_t size)
+{
+    hash_.addBytes(data, size);
+    sink_.write(data, size);
+}
+
+void
+StateWriter::sealChecksum()
+{
+    const std::uint64_t sum = hash_.value();
+    std::uint8_t buf[8];
+    for (int i = 0; i < 8; ++i)
+        buf[i] = static_cast<std::uint8_t>((sum >> (8 * i)) & 0xFF);
+    sink_.write(buf, 8);
+}
+
+void
+StateReader::rawBytes(void *data, std::size_t size)
+{
+    auto *p = static_cast<unsigned char *>(data);
+    std::size_t got = 0;
+    while (got < size) {
+        const std::size_t n = source_.read(p + got, size - got);
+        if (n == 0)
+            throw StateError("truncated stream (wanted " +
+                             std::to_string(size) + " bytes, got " +
+                             std::to_string(got) + ")");
+        got += n;
+    }
+}
+
+void
+StateReader::bytes(void *data, std::size_t size)
+{
+    rawBytes(data, size);
+    hash_.addBytes(data, size);
+}
+
+std::string
+StateReader::str(std::size_t max_size)
+{
+    const std::size_t n = count(max_size);
+    std::string s(n, '\0');
+    if (n != 0)
+        bytes(&s[0], n);
+    return s;
+}
+
+void
+StateReader::section(const char *tag)
+{
+    const std::string got = str(64);
+    if (got != tag)
+        throw StateError("expected section '" + std::string(tag) +
+                         "', found '" + got + "'");
+}
+
+void
+StateReader::verifyChecksum()
+{
+    const std::uint64_t expect = hash_.value();
+    std::uint8_t buf[8];
+    rawBytes(buf, 8);
+    std::uint64_t stored = 0;
+    for (int i = 0; i < 8; ++i)
+        stored |= std::uint64_t{buf[i]} << (8 * i);
+    if (stored != expect)
+        throw StateError("payload checksum mismatch");
+    unsigned char extra = 0;
+    if (source_.read(&extra, 1) != 0)
+        throw StateError("trailing bytes after checksum");
+}
+
+} // namespace hermes

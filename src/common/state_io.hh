@@ -1,0 +1,244 @@
+#pragma once
+
+/**
+ * @file
+ * Field-by-field binary serialization for warmup checkpoints: the
+ * StateWriter/StateReader pair every component's saveState/loadState
+ * uses (see docs/sessions.md). The format is deliberately dumb and
+ * explicit — fixed-width little-endian integers written one field at a
+ * time, never whole structs — so a checkpoint is identical across
+ * compilers, padding rules and host endianness.
+ *
+ * Robustness: every payload byte feeds a running FNV-1a checksum on
+ * both sides; section tags ("CORE", "LLC0", ...) frame each
+ * component so a truncated or drifted stream fails with a message
+ * naming the section, not garbage state. All reader defects throw
+ * StateError; SimSession::restore() turns any defect into a clean
+ * "re-warm from scratch" miss.
+ */
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+#include "common/fnv.hh"
+
+namespace hermes
+{
+
+class ByteSink;
+class ByteSource;
+
+/** Any checkpoint decode defect: truncation, bad tag, bad checksum. */
+class StateError : public std::runtime_error
+{
+  public:
+    explicit StateError(const std::string &what)
+        : std::runtime_error("checkpoint: " + what)
+    {
+    }
+};
+
+/** Serializes checkpoint fields into a ByteSink, checksumming along. */
+class StateWriter
+{
+  public:
+    explicit StateWriter(ByteSink &sink) : sink_(sink) {}
+
+    void u8(std::uint8_t v) { bytes(&v, 1); }
+    void b(bool v) { u8(v ? 1 : 0); }
+
+    void
+    u16(std::uint16_t v)
+    {
+        std::uint8_t buf[2] = {static_cast<std::uint8_t>(v & 0xFF),
+                               static_cast<std::uint8_t>(v >> 8)};
+        bytes(buf, 2);
+    }
+
+    void
+    u32(std::uint32_t v)
+    {
+        std::uint8_t buf[4];
+        for (int i = 0; i < 4; ++i)
+            buf[i] = static_cast<std::uint8_t>((v >> (8 * i)) & 0xFF);
+        bytes(buf, 4);
+    }
+
+    void
+    u64(std::uint64_t v)
+    {
+        std::uint8_t buf[8];
+        for (int i = 0; i < 8; ++i)
+            buf[i] = static_cast<std::uint8_t>((v >> (8 * i)) & 0xFF);
+        bytes(buf, 8);
+    }
+
+    void i8(std::int8_t v) { u8(static_cast<std::uint8_t>(v)); }
+    void i16(std::int16_t v) { u16(static_cast<std::uint16_t>(v)); }
+    void i32(std::int32_t v) { u32(static_cast<std::uint32_t>(v)); }
+    void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+
+    /** IEEE bit pattern: exact round trip, no locale/format drift. */
+    void
+    f64(double v)
+    {
+        std::uint64_t bits = 0;
+        std::memcpy(&bits, &v, sizeof(bits));
+        u64(bits);
+    }
+
+    void
+    f32(float v)
+    {
+        std::uint32_t bits = 0;
+        std::memcpy(&bits, &v, sizeof(bits));
+        u32(bits);
+    }
+
+    void
+    str(const std::string &s)
+    {
+        u64(s.size());
+        if (!s.empty())
+            bytes(s.data(), s.size());
+    }
+
+    /** Frame the next component; the reader must match the same tag. */
+    void
+    section(const char *tag)
+    {
+        str(tag);
+    }
+
+    /** Checksum of everything written so far. */
+    std::uint64_t checksum() const { return hash_.value(); }
+
+    /**
+     * Append the running checksum (not fed back into the hash). Call
+     * exactly once, after the last field.
+     */
+    void sealChecksum();
+
+  private:
+    void bytes(const void *data, std::size_t size);
+
+    ByteSink &sink_;
+    Fnv64 hash_;
+};
+
+/** The mirror-image reader; any defect throws StateError. */
+class StateReader
+{
+  public:
+    explicit StateReader(ByteSource &source) : source_(source) {}
+
+    std::uint8_t
+    u8()
+    {
+        std::uint8_t v = 0;
+        bytes(&v, 1);
+        return v;
+    }
+
+    bool
+    b()
+    {
+        const std::uint8_t v = u8();
+        if (v > 1)
+            throw StateError("bad boolean byte");
+        return v != 0;
+    }
+
+    std::uint16_t
+    u16()
+    {
+        std::uint8_t buf[2];
+        bytes(buf, 2);
+        return static_cast<std::uint16_t>(buf[0] |
+                                          (std::uint16_t{buf[1]} << 8));
+    }
+
+    std::uint32_t
+    u32()
+    {
+        std::uint8_t buf[4];
+        bytes(buf, 4);
+        std::uint32_t v = 0;
+        for (int i = 0; i < 4; ++i)
+            v |= std::uint32_t{buf[i]} << (8 * i);
+        return v;
+    }
+
+    std::uint64_t
+    u64()
+    {
+        std::uint8_t buf[8];
+        bytes(buf, 8);
+        std::uint64_t v = 0;
+        for (int i = 0; i < 8; ++i)
+            v |= std::uint64_t{buf[i]} << (8 * i);
+        return v;
+    }
+
+    std::int8_t i8() { return static_cast<std::int8_t>(u8()); }
+    std::int16_t i16() { return static_cast<std::int16_t>(u16()); }
+    std::int32_t i32() { return static_cast<std::int32_t>(u32()); }
+    std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+
+    double
+    f64()
+    {
+        const std::uint64_t bits = u64();
+        double v = 0;
+        std::memcpy(&v, &bits, sizeof(v));
+        return v;
+    }
+
+    float
+    f32()
+    {
+        const std::uint32_t bits = u32();
+        float v = 0;
+        std::memcpy(&v, &bits, sizeof(v));
+        return v;
+    }
+
+    std::string str(std::size_t max_size = kMaxString);
+
+    /** Read a section tag and require it to equal @p tag. */
+    void section(const char *tag);
+
+    /** Bounded count for containers (defends against garbage sizes). */
+    std::size_t
+    count(std::size_t max)
+    {
+        const std::uint64_t n = u64();
+        if (n > max)
+            throw StateError("container size " + std::to_string(n) +
+                             " exceeds bound " + std::to_string(max));
+        return static_cast<std::size_t>(n);
+    }
+
+    std::uint64_t checksum() const { return hash_.value(); }
+
+    /**
+     * Read the trailing checksum word (not hashed) and require it to
+     * match the payload hash; then require end-of-stream.
+     */
+    void verifyChecksum();
+
+  private:
+    void bytes(void *data, std::size_t size);
+    /** Raw read, no checksumming (the checksum word itself). */
+    void rawBytes(void *data, std::size_t size);
+
+    static constexpr std::size_t kMaxString = 1u << 20;
+
+    ByteSource &source_;
+    Fnv64 hash_;
+};
+
+} // namespace hermes

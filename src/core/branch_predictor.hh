@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/state_io.hh"
 #include "common/types.hh"
 
 namespace hermes
@@ -55,6 +56,34 @@ class BranchPredictor
     void clearStats() { stats_ = BranchStats{}; }
 
     std::uint64_t storageBits() const;
+
+    void
+    saveState(StateWriter &w) const
+    {
+        w.section("BPRC");
+        for (const auto &table : weights_)
+            for (std::int8_t v : table)
+                w.i8(v);
+        w.u64(ghr_);
+        for (std::uint32_t idx : lastIndex_)
+            w.u32(idx);
+        w.i32(lastSum_);
+        w.b(lastPrediction_);
+    }
+
+    void
+    loadState(StateReader &r)
+    {
+        r.section("BPRC");
+        for (auto &table : weights_)
+            for (std::int8_t &v : table)
+                v = r.i8();
+        ghr_ = r.u64();
+        for (std::uint32_t &idx : lastIndex_)
+            idx = r.u32();
+        lastSum_ = r.i32();
+        lastPrediction_ = r.b();
+    }
 
   private:
     static constexpr unsigned kTables = 3;

@@ -294,4 +294,123 @@ OooCore::returnData(const MemRequest &req)
     wake(e, now_);
 }
 
+namespace
+{
+
+void
+saveInstr(StateWriter &w, const TraceInstr &instr)
+{
+    w.u64(instr.pc);
+    w.u8(static_cast<std::uint8_t>(instr.kind));
+    w.u64(instr.vaddr);
+    w.b(instr.branchTaken);
+    w.u32(instr.depDistance);
+}
+
+void
+loadInstr(StateReader &r, TraceInstr &instr)
+{
+    instr.pc = r.u64();
+    instr.kind = static_cast<InstrKind>(r.u8());
+    instr.vaddr = r.u64();
+    instr.branchTaken = r.b();
+    instr.depDistance = r.u32();
+}
+
+void
+savePredMeta(StateWriter &w, const PredMeta &m)
+{
+    for (std::uint32_t idx : m.index)
+        w.u32(idx);
+    w.u8(m.indexCount);
+    w.i16(m.sum);
+    w.b(m.predictedOffChip);
+    w.b(m.valid);
+}
+
+void
+loadPredMeta(StateReader &r, PredMeta &m)
+{
+    for (std::uint32_t &idx : m.index)
+        idx = r.u32();
+    m.indexCount = r.u8();
+    m.sum = r.i16();
+    m.predictedOffChip = r.b();
+    m.valid = r.b();
+}
+
+} // namespace
+
+void
+OooCore::saveState(StateWriter &w) const
+{
+    w.section("CORE");
+    branch_.saveState(w);
+    w.u64(rob_.size());
+    for (const RobEntry &e : rob_) {
+        saveInstr(w, e.instr);
+        w.u64(e.seq);
+        w.u8(static_cast<std::uint8_t>(e.state));
+        w.u64(e.readyAt);
+        w.u64(e.issueAt);
+        w.u64(e.blockedCycles);
+        savePredMeta(w, e.predMeta);
+        w.b(e.wentOffChip);
+        w.b(e.servedByHermes);
+        w.u64(e.l1Issue);
+        w.u64(e.mcArrive);
+        w.u64(e.firstWaiter);
+        w.u64(e.lastWaiter);
+        w.u64(e.nextWaiter);
+    }
+    w.u64(headSeq_);
+    w.u64(nextSeq_);
+    w.u32(lqUsed_);
+    w.u32(sqUsed_);
+    w.u64(readyLoads_.size());
+    for (std::size_t i = 0; i < readyLoads_.size(); ++i)
+        w.u64(readyLoads_.at(i));
+    saveInstr(w, pendingFetch_);
+    w.b(hasPendingFetch_);
+    w.u64(fetchResumeAt_);
+    w.u64(now_);
+}
+
+void
+OooCore::loadState(StateReader &r)
+{
+    r.section("CORE");
+    branch_.loadState(r);
+    if (r.u64() != rob_.size())
+        throw StateError("core rob size mismatch");
+    for (RobEntry &e : rob_) {
+        loadInstr(r, e.instr);
+        e.seq = r.u64();
+        e.state = static_cast<State>(r.u8());
+        e.readyAt = r.u64();
+        e.issueAt = r.u64();
+        e.blockedCycles = r.u64();
+        loadPredMeta(r, e.predMeta);
+        e.wentOffChip = r.b();
+        e.servedByHermes = r.b();
+        e.l1Issue = r.u64();
+        e.mcArrive = r.u64();
+        e.firstWaiter = r.u64();
+        e.lastWaiter = r.u64();
+        e.nextWaiter = r.u64();
+    }
+    headSeq_ = r.u64();
+    nextSeq_ = r.u64();
+    lqUsed_ = r.u32();
+    sqUsed_ = r.u32();
+    readyLoads_.clear();
+    const std::size_t nReady = r.count(rob_.size());
+    for (std::size_t i = 0; i < nReady; ++i)
+        readyLoads_.push_back(r.u64());
+    loadInstr(r, pendingFetch_);
+    hasPendingFetch_ = r.b();
+    fetchResumeAt_ = r.u64();
+    now_ = r.u64();
+}
+
 } // namespace hermes

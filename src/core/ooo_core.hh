@@ -28,6 +28,7 @@
 
 #include "cache/mem_iface.hh"
 #include "common/ring.hh"
+#include "common/state_io.hh"
 #include "common/types.hh"
 #include "core/branch_predictor.hh"
 #include "hermes/hermes.hh"
@@ -130,6 +131,10 @@ class OooCore final : public MemClient
     void clearStats();
 
     std::uint64_t instrsRetired() const { return stats_.instrsRetired; }
+
+    /** Warmup checkpoint hooks (stats are zero at the snapshot seam). */
+    void saveState(StateWriter &w) const;
+    void loadState(StateReader &r);
 
   private:
     enum class State : std::uint8_t

@@ -353,4 +353,106 @@ DramController::probeRead(Addr line) const
                        [line](const auto &e) { return e.line == line; });
 }
 
+void
+DramController::saveState(StateWriter &w) const
+{
+    w.section("DRAM");
+    w.u64(channels_.size());
+    for (const Channel &ch : channels_) {
+        w.u64(ch.rq.size());
+        for (const ReadEntry &e : ch.rq) {
+            w.u64(e.line);
+            w.u32(e.bank);
+            w.u64(e.row);
+            w.u64(e.arrived);
+            w.u8(static_cast<std::uint8_t>(e.state));
+            w.u64(e.finishAt);
+            w.b(e.hermesOnly);
+            w.b(e.hermesInitiated);
+            w.u64(e.waiters.size());
+            for (const MemRequest &req : e.waiters)
+                saveMemRequest(w, req);
+        }
+        w.u64(ch.wq.size());
+        for (const WriteEntry &e : ch.wq) {
+            w.u64(e.line);
+            w.u32(e.bank);
+            w.u64(e.row);
+            w.u64(e.arrived);
+            w.u8(static_cast<std::uint8_t>(e.state));
+            w.u64(e.finishAt);
+        }
+        w.u64(ch.banks.size());
+        for (const Bank &b : ch.banks) {
+            w.b(b.open);
+            w.u64(b.row);
+            w.u64(b.readyAt);
+        }
+        w.u64(ch.busFreeAt);
+        w.b(ch.drainingWrites);
+        w.u32(ch.queuedReads);
+        w.u32(ch.issuedReads);
+        w.u32(ch.queuedWrites);
+        w.u32(ch.issuedWrites);
+        w.u64(ch.nextReadFinish);
+        w.u64(ch.nextWriteFinish);
+    }
+    w.u64(now_);
+}
+
+void
+DramController::loadState(StateReader &r)
+{
+    r.section("DRAM");
+    if (r.u64() != channels_.size())
+        throw StateError("dram channel count mismatch");
+    for (Channel &ch : channels_) {
+        ch.rq.clear();
+        const std::size_t nr = r.count(1u << 20);
+        for (std::size_t i = 0; i < nr; ++i) {
+            ReadEntry e;
+            e.line = r.u64();
+            e.bank = r.u32();
+            e.row = r.u64();
+            e.arrived = r.u64();
+            e.state = static_cast<State>(r.u8());
+            e.finishAt = r.u64();
+            e.hermesOnly = r.b();
+            e.hermesInitiated = r.b();
+            e.waiters.resize(r.count(1u << 16));
+            for (MemRequest &req : e.waiters)
+                loadMemRequest(r, req);
+            ch.rq.push_back(std::move(e));
+        }
+        ch.wq.clear();
+        const std::size_t nw = r.count(1u << 20);
+        for (std::size_t i = 0; i < nw; ++i) {
+            WriteEntry e;
+            e.line = r.u64();
+            e.bank = r.u32();
+            e.row = r.u64();
+            e.arrived = r.u64();
+            e.state = static_cast<State>(r.u8());
+            e.finishAt = r.u64();
+            ch.wq.push_back(e);
+        }
+        if (r.u64() != ch.banks.size())
+            throw StateError("dram bank count mismatch");
+        for (Bank &b : ch.banks) {
+            b.open = r.b();
+            b.row = r.u64();
+            b.readyAt = r.u64();
+        }
+        ch.busFreeAt = r.u64();
+        ch.drainingWrites = r.b();
+        ch.queuedReads = r.u32();
+        ch.issuedReads = r.u32();
+        ch.queuedWrites = r.u32();
+        ch.issuedWrites = r.u32();
+        ch.nextReadFinish = r.u64();
+        ch.nextWriteFinish = r.u64();
+    }
+    now_ = r.u64();
+}
+
 } // namespace hermes

@@ -111,6 +111,10 @@ class DramController final : public MemDevice
     const DramStats &stats() const { return stats_; }
     void clearStats() { stats_ = DramStats{}; }
 
+    /** Warmup checkpoint hooks. */
+    void saveState(StateWriter &w) const;
+    void loadState(StateReader &r);
+
   private:
     enum class State : std::uint8_t { Queued, Issued };
 

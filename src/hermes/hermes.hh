@@ -87,6 +87,39 @@ class HermesController
     const HermesStats &stats() const { return stats_; }
     void clearStats() { stats_ = HermesStats{}; }
 
+    /**
+     * Gate speculative issue at a phase boundary (hermes.warmup_issue):
+     * with issue off the predictor still trains, matching
+     * predictor-only mode during warmup.
+     */
+    void setIssueEnabled(bool enabled) { params_.issueEnabled = enabled; }
+
+    /** Warmup checkpoint hooks (predictor state is saved separately). */
+    void
+    saveState(StateWriter &w) const
+    {
+        w.section("HRMC");
+        w.u64(pending_.size());
+        for (const PendingIssue &p : pending_) {
+            saveMemRequest(w, p.req);
+            w.u64(p.issueAt);
+        }
+    }
+
+    void
+    loadState(StateReader &r)
+    {
+        r.section("HRMC");
+        pending_.clear();
+        const std::size_t n = r.count(1u << 20);
+        for (std::size_t i = 0; i < n; ++i) {
+            PendingIssue p;
+            loadMemRequest(r, p.req);
+            p.issueAt = r.u64();
+            pending_.push_back(p);
+        }
+    }
+
   private:
     struct PendingIssue
     {

@@ -21,6 +21,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/state_io.hh"
 #include "predictor/offchip_pred.hh"
 #include "sim/model_registry.hh"
 
@@ -110,6 +111,31 @@ class HashPerc final : public OffChipPredictor
     {
         // The shared table is the entire model state.
         return static_cast<std::uint64_t>(weights_.size()) * weightBits_;
+    }
+
+    bool checkpointable() const override { return true; }
+
+    void
+    saveState(StateWriter &w) const override
+    {
+        w.section("HSHP");
+        w.u64(weights_.size());
+        for (std::int8_t v : weights_)
+            w.i8(v);
+        for (Addr pc : lastLoadPcs_)
+            w.u64(pc);
+    }
+
+    void
+    loadState(StateReader &r) override
+    {
+        r.section("HSHP");
+        if (r.u64() != weights_.size())
+            throw StateError("hashperc weight table size mismatch");
+        for (std::int8_t &v : weights_)
+            v = r.i8();
+        for (Addr &pc : lastLoadPcs_)
+            pc = r.u64();
     }
 
   private:

@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/state_io.hh"
 #include "common/types.hh"
 #include "predictor/offchip_pred.hh"
 
@@ -43,6 +44,54 @@ class Hmp : public OffChipPredictor
     void train(Addr pc, Addr vaddr, const PredMeta &meta,
                bool went_off_chip) override;
     std::uint64_t storageBits() const override;
+
+    bool checkpointable() const override { return true; }
+
+    void
+    saveState(StateWriter &w) const override
+    {
+        w.section("HMPP");
+        w.u64(localHistory_.size());
+        for (std::uint16_t v : localHistory_)
+            w.u16(v);
+        w.u64(localPattern_.size());
+        for (std::uint8_t v : localPattern_)
+            w.u8(v);
+        w.u64(gshare_.size());
+        for (std::uint8_t v : gshare_)
+            w.u8(v);
+        for (const auto &bank : gskew_) {
+            w.u64(bank.size());
+            for (std::uint8_t v : bank)
+                w.u8(v);
+        }
+        w.u32(globalHistory_);
+    }
+
+    void
+    loadState(StateReader &r) override
+    {
+        r.section("HMPP");
+        if (r.u64() != localHistory_.size())
+            throw StateError("hmp local history size mismatch");
+        for (std::uint16_t &v : localHistory_)
+            v = r.u16();
+        if (r.u64() != localPattern_.size())
+            throw StateError("hmp local pattern size mismatch");
+        for (std::uint8_t &v : localPattern_)
+            v = r.u8();
+        if (r.u64() != gshare_.size())
+            throw StateError("hmp gshare size mismatch");
+        for (std::uint8_t &v : gshare_)
+            v = r.u8();
+        for (auto &bank : gskew_) {
+            if (r.u64() != bank.size())
+                throw StateError("hmp gskew size mismatch");
+            for (std::uint8_t &v : bank)
+                v = r.u8();
+        }
+        globalHistory_ = r.u32();
+    }
 
   private:
     bool counterTaken(std::uint8_t c) const;

@@ -47,6 +47,9 @@ class IdealPredictor : public OffChipPredictor
 
     std::uint64_t storageBits() const override { return 0; }
 
+    /** Stateless: the probe reads live hierarchy state on demand. */
+    bool checkpointable() const override { return true; }
+
   private:
     Probe resident_;
 };

@@ -21,6 +21,9 @@
 namespace hermes
 {
 
+class StateReader;
+class StateWriter;
+
 /**
  * Per-load predictor metadata kept in the LQ entry (paper Table 3, "LQ
  * metadata"). Generic enough for every predictor implementation here.
@@ -94,6 +97,15 @@ class OffChipPredictor
 
     /** Metadata storage in bits (Table 3 / Table 6 accounting). */
     virtual std::uint64_t storageBits() const = 0;
+
+    /**
+     * Warmup-checkpoint support (sim/simulator.hh). A predictor that
+     * does not override these stays non-checkpointable and disables
+     * checkpointing for runs that select it.
+     */
+    virtual bool checkpointable() const { return false; }
+    virtual void saveState(StateWriter &) const {}
+    virtual void loadState(StateReader &) {}
 };
 
 /** Predictor kinds evaluated in the paper (§7.2). */

@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "common/addr_index.hh"
+#include "common/state_io.hh"
 #include "common/types.hh"
 #include "predictor/offchip_pred.hh"
 
@@ -86,6 +87,61 @@ class Popet : public OffChipPredictor
     /** Table sizes per feature (Table 3). */
     static constexpr std::array<std::uint32_t, kPopetFeatureCount>
         kTableSizes = {1024, 1024, 1024, 128, 1024};
+
+    bool checkpointable() const override { return true; }
+
+    void
+    saveState(StateWriter &w) const override
+    {
+        w.section("POPT");
+        for (const auto &table : weights_) {
+            w.u64(table.size());
+            for (std::int8_t v : table)
+                w.i8(v);
+        }
+        w.u64(pageBuffer_.size());
+        for (const PageBufferEntry &e : pageBuffer_) {
+            w.u64(e.pageTag);
+            w.u64(e.bitmap);
+            w.u64(e.lastUse);
+        }
+        w.u32(pageInvalidLeft_);
+        w.u64(pageBufferClock_);
+        for (Addr pc : lastLoadPcs_)
+            w.u64(pc);
+    }
+
+    void
+    loadState(StateReader &r) override
+    {
+        r.section("POPT");
+        for (auto &table : weights_) {
+            if (r.u64() != table.size())
+                throw StateError("popet weight table size mismatch");
+            for (std::int8_t &v : table)
+                v = r.i8();
+        }
+        if (r.u64() != pageBuffer_.size())
+            throw StateError("popet page buffer size mismatch");
+        for (PageBufferEntry &e : pageBuffer_) {
+            e.pageTag = r.u64();
+            e.bitmap = r.u64();
+            e.lastUse = r.u64();
+        }
+        pageInvalidLeft_ = r.u32();
+        pageBufferClock_ = r.u64();
+        for (Addr &pc : lastLoadPcs_)
+            pc = r.u64();
+        // Valid slots fill in ascending index order (see the
+        // pageInvalidLeft_ comment below), so the occupied prefix is
+        // exactly the index content to rebuild.
+        pageIndex_.clear();
+        const std::size_t used =
+            pageBuffer_.size() - static_cast<std::size_t>(pageInvalidLeft_);
+        for (std::size_t i = 0; i < used; ++i)
+            pageIndex_.insert(pageBuffer_[i].pageTag,
+                              static_cast<std::uint32_t>(i));
+    }
 
   private:
     struct PageBufferEntry

@@ -19,6 +19,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/state_io.hh"
 #include "common/types.hh"
 #include "predictor/offchip_pred.hh"
 
@@ -49,6 +50,35 @@ class Ttp : public OffChipPredictor
 
     /** Test hook: is a line currently tracked as resident? */
     bool tracked(Addr line) const;
+
+    bool checkpointable() const override { return true; }
+
+    void
+    saveState(StateWriter &w) const override
+    {
+        w.section("TTPP");
+        w.u64(table_.size());
+        for (const Entry &e : table_) {
+            w.u16(e.tag);
+            w.u32(e.lastUse);
+            w.b(e.valid);
+        }
+        w.u32(clock_);
+    }
+
+    void
+    loadState(StateReader &r) override
+    {
+        r.section("TTPP");
+        if (r.u64() != table_.size())
+            throw StateError("ttp table size mismatch");
+        for (Entry &e : table_) {
+            e.tag = r.u16();
+            e.lastUse = r.u32();
+            e.valid = r.b();
+        }
+        clock_ = r.u32();
+    }
 
   private:
     struct Entry

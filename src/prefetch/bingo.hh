@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/state_io.hh"
 #include "common/types.hh"
 #include "prefetch/prefetcher.hh"
 
@@ -38,6 +39,58 @@ class Bingo : public Prefetcher
     void onAccess(Addr addr, Addr pc, bool hit,
                   std::vector<Addr> &out_lines) override;
     std::uint64_t storageBits() const override;
+
+    bool checkpointable() const override { return true; }
+
+    void
+    saveState(StateWriter &w) const override
+    {
+        w.section("BNGO");
+        w.u64(accum_.size());
+        for (const AccumEntry &e : accum_) {
+            w.u64(e.region);
+            w.u64(e.triggerPc);
+            w.u32(e.triggerOffset);
+            w.u64(e.footprint);
+            w.u64(e.lastUse);
+            w.b(e.valid);
+        }
+        w.u64(history_.size());
+        for (const HistEntry &e : history_) {
+            w.u64(e.keyAddr);
+            w.u32(e.keyOffset);
+            w.u64(e.footprint);
+            w.u64(e.lastUse);
+            w.b(e.valid);
+        }
+        w.u64(clock_);
+    }
+
+    void
+    loadState(StateReader &r) override
+    {
+        r.section("BNGO");
+        if (r.u64() != accum_.size())
+            throw StateError("bingo accumulation table size mismatch");
+        for (AccumEntry &e : accum_) {
+            e.region = r.u64();
+            e.triggerPc = r.u64();
+            e.triggerOffset = r.u32();
+            e.footprint = r.u64();
+            e.lastUse = r.u64();
+            e.valid = r.b();
+        }
+        if (r.u64() != history_.size())
+            throw StateError("bingo history table size mismatch");
+        for (HistEntry &e : history_) {
+            e.keyAddr = r.u64();
+            e.keyOffset = r.u32();
+            e.footprint = r.u64();
+            e.lastUse = r.u64();
+            e.valid = r.b();
+        }
+        clock_ = r.u64();
+    }
 
   private:
     struct AccumEntry

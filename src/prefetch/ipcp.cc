@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/state_io.hh"
 #include "prefetch/prefetcher.hh"
 #include "sim/model_registry.hh"
 
@@ -88,6 +89,37 @@ class Ipcp final : public Prefetcher
     {
         // tag (16) + last line (36) + stride (7) + confidence (2).
         return static_cast<std::uint64_t>(table_.size()) * 61;
+    }
+
+    bool checkpointable() const override { return true; }
+
+    void
+    saveState(StateWriter &w) const override
+    {
+        w.section("IPCP");
+        w.u64(table_.size());
+        for (const Entry &e : table_) {
+            w.b(e.valid);
+            w.u16(e.tag);
+            w.u64(e.lastLine);
+            w.i64(e.stride);
+            w.i32(e.confidence);
+        }
+    }
+
+    void
+    loadState(StateReader &r) override
+    {
+        r.section("IPCP");
+        if (r.u64() != table_.size())
+            throw StateError("ipcp table size mismatch");
+        for (Entry &e : table_) {
+            e.valid = r.b();
+            e.tag = r.u16();
+            e.lastLine = r.u64();
+            e.stride = r.i64();
+            e.confidence = r.i32();
+        }
     }
 
   private:

@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/state_io.hh"
 #include "common/types.hh"
 #include "prefetch/prefetcher.hh"
 
@@ -43,6 +44,52 @@ class Mlop : public Prefetcher
 
     /** Currently active offsets (testing hook). */
     const std::vector<int> &activeOffsets() const { return active_; }
+
+    bool checkpointable() const override { return true; }
+
+    void
+    saveState(StateWriter &w) const override
+    {
+        w.section("MLOP");
+        w.u64(zones_.size());
+        for (const Zone &z : zones_) {
+            w.u64(z.zone);
+            w.u64(z.bitmap);
+            w.u64(z.lastUse);
+            w.b(z.valid);
+        }
+        w.u64(scores_.size());
+        for (std::uint32_t v : scores_)
+            w.u32(v);
+        w.u64(active_.size());
+        for (int v : active_)
+            w.i32(v);
+        w.u32(accessesThisRound_);
+        w.u64(clock_);
+    }
+
+    void
+    loadState(StateReader &r) override
+    {
+        r.section("MLOP");
+        if (r.u64() != zones_.size())
+            throw StateError("mlop zone table size mismatch");
+        for (Zone &z : zones_) {
+            z.zone = r.u64();
+            z.bitmap = r.u64();
+            z.lastUse = r.u64();
+            z.valid = r.b();
+        }
+        if (r.u64() != scores_.size())
+            throw StateError("mlop score table size mismatch");
+        for (std::uint32_t &v : scores_)
+            v = r.u32();
+        active_.assign(r.count(1u << 16), 0);
+        for (int &v : active_)
+            v = r.i32();
+        accessesThisRound_ = r.u32();
+        clock_ = r.u64();
+    }
 
   private:
     struct Zone

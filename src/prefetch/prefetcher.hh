@@ -18,6 +18,9 @@
 namespace hermes
 {
 
+class StateReader;
+class StateWriter;
+
 /** Aggregate prefetcher statistics. */
 struct PrefetcherStats
 {
@@ -73,6 +76,17 @@ class Prefetcher
 
     /** Metadata storage in bits (Table 6 accounting). */
     virtual std::uint64_t storageBits() const = 0;
+
+    /**
+     * Warmup-checkpoint support (sim/simulator.hh). Stats are not
+     * serialized: checkpoints are taken at the warmup/measure seam,
+     * right after every statistic has been cleared. A prefetcher that
+     * does not override these stays non-checkpointable and disables
+     * checkpointing for runs that select it.
+     */
+    virtual bool checkpointable() const { return false; }
+    virtual void saveState(StateWriter &) const {}
+    virtual void loadState(StateReader &) {}
 
     PrefetcherStats &stats() { return stats_; }
     const PrefetcherStats &stats() const { return stats_; }

@@ -27,6 +27,7 @@
 
 #include "common/addr_index.hh"
 #include "common/rng.hh"
+#include "common/state_io.hh"
 #include "common/types.hh"
 #include "prefetch/prefetcher.hh"
 
@@ -63,6 +64,97 @@ class Pythia : public Prefetcher
 
     /** The action (offset) set; index 0 is "no prefetch". */
     static const std::array<int, 16> kActions;
+
+    bool checkpointable() const override { return true; }
+
+    void
+    saveState(StateWriter &w) const override
+    {
+        w.section("PYTH");
+        const Rng::State rs = rng_.state();
+        w.u64(rs.s0);
+        w.u64(rs.s1);
+        w.u64(table1_.size());
+        for (const auto &row : table1_)
+            for (float q : row)
+                w.f32(q);
+        w.u64(table2_.size());
+        for (const auto &row : table2_)
+            for (float q : row)
+                w.f32(q);
+        w.u64(eq_.size());
+        for (const EqEntry &e : eq_) {
+            w.u64(e.line);
+            w.u32(e.phi1);
+            w.u32(e.phi2);
+            w.u32(e.action);
+            w.b(e.rewarded);
+        }
+        for (const PageCtx &p : pages_) {
+            w.u64(p.page);
+            w.i32(p.lastOffset);
+            w.u64(p.lastUse);
+        }
+        w.u32(pagesInvalidLeft_);
+        w.u64(pageClock_);
+        w.u64(lastLine_);
+        for (std::uint8_t o : lastOffsets_)
+            w.u8(o);
+        w.u32(lastPhi1_);
+        w.u32(lastPhi2_);
+        w.b(havePrev_);
+    }
+
+    void
+    loadState(StateReader &r) override
+    {
+        r.section("PYTH");
+        Rng::State rs;
+        rs.s0 = r.u64();
+        rs.s1 = r.u64();
+        rng_.setState(rs);
+        if (r.u64() != table1_.size())
+            throw StateError("pythia qvstore table1 size mismatch");
+        for (auto &row : table1_)
+            for (float &q : row)
+                q = r.f32();
+        if (r.u64() != table2_.size())
+            throw StateError("pythia qvstore table2 size mismatch");
+        for (auto &row : table2_)
+            for (float &q : row)
+                q = r.f32();
+        eq_.clear();
+        const std::size_t nEq = r.count(1u << 20);
+        for (std::size_t i = 0; i < nEq; ++i) {
+            EqEntry e;
+            e.line = r.u64();
+            e.phi1 = r.u32();
+            e.phi2 = r.u32();
+            e.action = r.u32();
+            e.rewarded = r.b();
+            eq_.push_back(e);
+        }
+        for (PageCtx &p : pages_) {
+            p.page = r.u64();
+            p.lastOffset = r.i32();
+            p.lastUse = r.u64();
+        }
+        pagesInvalidLeft_ = r.u32();
+        if (pagesInvalidLeft_ > kPageCtxEntries)
+            throw StateError("pythia page context fill count out of range");
+        // The index is derived state: rebuild it over the valid slots,
+        // which fill from the highest index down (see pagesInvalidLeft_).
+        pagesIndex_.clear();
+        for (unsigned i = pagesInvalidLeft_; i < kPageCtxEntries; ++i)
+            pagesIndex_.insert(pages_[i].page, i);
+        pageClock_ = r.u64();
+        lastLine_ = r.u64();
+        for (std::uint8_t &o : lastOffsets_)
+            o = r.u8();
+        lastPhi1_ = r.u32();
+        lastPhi2_ = r.u32();
+        havePrev_ = r.b();
+    }
 
   private:
     struct EqEntry

@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/state_io.hh"
 #include "common/types.hh"
 #include "prefetch/prefetcher.hh"
 
@@ -39,6 +40,54 @@ class Sms : public Prefetcher
     void onAccess(Addr addr, Addr pc, bool hit,
                   std::vector<Addr> &out_lines) override;
     std::uint64_t storageBits() const override;
+
+    bool checkpointable() const override { return true; }
+
+    void
+    saveState(StateWriter &w) const override
+    {
+        w.section("SMSP");
+        w.u64(agt_.size());
+        for (const AgtEntry &e : agt_) {
+            w.u64(e.region);
+            w.u32(e.signature);
+            w.u64(e.footprint);
+            w.u64(e.lastUse);
+            w.b(e.valid);
+        }
+        w.u64(pht_.size());
+        for (const PhtEntry &e : pht_) {
+            w.u32(e.signature);
+            w.u64(e.footprint);
+            w.u64(e.lastUse);
+            w.b(e.valid);
+        }
+        w.u64(clock_);
+    }
+
+    void
+    loadState(StateReader &r) override
+    {
+        r.section("SMSP");
+        if (r.u64() != agt_.size())
+            throw StateError("sms active generation table size mismatch");
+        for (AgtEntry &e : agt_) {
+            e.region = r.u64();
+            e.signature = r.u32();
+            e.footprint = r.u64();
+            e.lastUse = r.u64();
+            e.valid = r.b();
+        }
+        if (r.u64() != pht_.size())
+            throw StateError("sms pattern history table size mismatch");
+        for (PhtEntry &e : pht_) {
+            e.signature = r.u32();
+            e.footprint = r.u64();
+            e.lastUse = r.u64();
+            e.valid = r.b();
+        }
+        clock_ = r.u64();
+    }
 
   private:
     struct AgtEntry

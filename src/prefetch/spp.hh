@@ -19,10 +19,12 @@
  *    useful/useless feedback from the cache.
  */
 
+#include <algorithm>
 #include <cstdint>
 #include <unordered_map>
 #include <vector>
 
+#include "common/state_io.hh"
 #include "common/types.hh"
 #include "prefetch/prefetcher.hh"
 
@@ -54,6 +56,90 @@ class Spp : public Prefetcher
     void onPrefetchUseful(Addr line, Addr pc) override;
     void onPrefetchUseless(Addr line) override;
     std::uint64_t storageBits() const override;
+
+    bool checkpointable() const override { return true; }
+
+    void
+    saveState(StateWriter &w) const override
+    {
+        w.section("SPPF");
+        w.u64(st_.size());
+        for (const StEntry &e : st_) {
+            w.u64(e.pageTag);
+            w.i32(e.lastOffset);
+            w.u16(e.signature);
+            w.u64(e.lastUse);
+            w.b(e.valid);
+        }
+        w.u64(pt_.size());
+        for (const PtEntry &e : pt_) {
+            for (const PtSlot &s : e.slots) {
+                w.i8(s.delta);
+                w.u8(s.confidence);
+            }
+            w.u8(e.sigCount);
+        }
+        for (const auto &table : ppf_) {
+            w.u64(table.size());
+            for (std::int8_t v : table)
+                w.i8(v);
+        }
+        // Hash-map iteration order is unspecified: emit sorted by line
+        // so the byte stream is deterministic.
+        std::vector<Addr> lines;
+        lines.reserve(inflight_.size());
+        for (const auto &kv : inflight_)
+            lines.push_back(kv.first);
+        std::sort(lines.begin(), lines.end());
+        w.u64(lines.size());
+        for (Addr line : lines) {
+            const PpfRecord &rec = inflight_.at(line);
+            w.u64(line);
+            for (std::uint32_t idx : rec.idx)
+                w.u32(idx);
+        }
+        w.u64(clock_);
+    }
+
+    void
+    loadState(StateReader &r) override
+    {
+        r.section("SPPF");
+        if (r.u64() != st_.size())
+            throw StateError("spp signature table size mismatch");
+        for (StEntry &e : st_) {
+            e.pageTag = r.u64();
+            e.lastOffset = r.i32();
+            e.signature = r.u16();
+            e.lastUse = r.u64();
+            e.valid = r.b();
+        }
+        if (r.u64() != pt_.size())
+            throw StateError("spp pattern table size mismatch");
+        for (PtEntry &e : pt_) {
+            for (PtSlot &s : e.slots) {
+                s.delta = r.i8();
+                s.confidence = r.u8();
+            }
+            e.sigCount = r.u8();
+        }
+        for (auto &table : ppf_) {
+            if (r.u64() != table.size())
+                throw StateError("spp ppf table size mismatch");
+            for (std::int8_t &v : table)
+                v = r.i8();
+        }
+        inflight_.clear();
+        const std::size_t n = r.count(1u << 24);
+        for (std::size_t i = 0; i < n; ++i) {
+            const Addr line = r.u64();
+            PpfRecord rec;
+            for (std::uint32_t &idx : rec.idx)
+                idx = r.u32();
+            inflight_.emplace(line, rec);
+        }
+        clock_ = r.u64();
+    }
 
   private:
     struct StEntry

@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/state_io.hh"
 #include "common/types.hh"
 #include "prefetch/prefetcher.hh"
 
@@ -35,6 +36,41 @@ class Streamer : public Prefetcher
     void onAccess(Addr addr, Addr pc, bool hit,
                   std::vector<Addr> &out_lines) override;
     std::uint64_t storageBits() const override;
+
+    bool checkpointable() const override { return true; }
+
+    void
+    saveState(StateWriter &w) const override
+    {
+        w.section("STRM");
+        w.u64(table_.size());
+        for (const Entry &e : table_) {
+            w.u64(e.page);
+            w.i32(e.lastOffset);
+            w.i32(e.direction);
+            w.u32(e.confidence);
+            w.u64(e.lastUse);
+            w.b(e.valid);
+        }
+        w.u64(clock_);
+    }
+
+    void
+    loadState(StateReader &r) override
+    {
+        r.section("STRM");
+        if (r.u64() != table_.size())
+            throw StateError("streamer table size mismatch");
+        for (Entry &e : table_) {
+            e.page = r.u64();
+            e.lastOffset = r.i32();
+            e.direction = r.i32();
+            e.confidence = r.u32();
+            e.lastUse = r.u64();
+            e.valid = r.b();
+        }
+        clock_ = r.u64();
+    }
 
   private:
     struct Entry

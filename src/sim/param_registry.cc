@@ -316,11 +316,19 @@ ParamRegistry::ParamRegistry()
     boolean("hermes.enabled",
             [](SystemConfig &c) -> auto & { return c.hermesIssueEnabled; },
             "issue Hermes requests (false = predictor-only)");
+    defs_.back().warmupAffecting = false;
     num("hermes.issue_latency",
         [](SystemConfig &c) -> auto & { return c.hermesIssueLatency; }, 0,
         1000,
         "Hermes request issue latency (Hermes-O 6, Hermes-P 18; "
         "Fig. 17c sweeps)");
+    defs_.back().warmupAffecting = false;
+    boolean("hermes.warmup_issue",
+            [](SystemConfig &c) -> auto & { return c.hermesWarmupIssue; },
+            "issue Hermes requests during warmup too (false makes "
+            "warmed state independent of the issue path, so "
+            "issue-side sweeps share one warmup checkpoint)");
+    defs_.back().sparseRender = true;
 
     num("popet.act_threshold",
         [](SystemConfig &c) -> auto & {
@@ -526,9 +534,16 @@ ParamRegistry::apply(SystemConfig &cfg, const std::string &key,
     const ParamDef *d = find(key);
     if (d == nullptr) {
         // Not a core parameter: maybe a registered model knob
-        // ("pred.<model>.<knob>").
+        // ("pred.<model>.<knob>") or a corpus-generator knob
+        // ("corpus.<gen>.<knob>") — both sparse maps, so untouched
+        // configurations render (and fingerprint) unchanged.
         if (const auto kref = ModelRegistry::instance().findKnob(key)) {
             applyModelKnob(cfg, key, value, *kref.knob);
+            return;
+        }
+        if (key.rfind("corpus.", 0) == 0) {
+            validateCorpusOverride(key, value); // throws on any defect
+            cfg.corpusKnobs[key] = value;
             return;
         }
         d = &findOrThrow(key); // throws with a nearest-key suggestion
@@ -609,10 +624,11 @@ ParamRegistry::apply(SystemConfig &cfg, const std::string &key,
 std::string
 ParamRegistry::describe() const
 {
-    std::size_t key_w = 0, type_w = 0, dflt_w = 0, range_w = 0;
+    std::size_t key_w = 0, type_w = 0, dflt_w = 0, range_w = 0,
+                warm_w = 0;
     struct Row
     {
-        std::string key, type, dflt, range, doc;
+        std::string key, type, dflt, range, warm, doc;
     };
     std::vector<Row> rows;
     for (const ParamDef &d : defs_) {
@@ -620,6 +636,10 @@ ParamRegistry::describe() const
         r.key = d.key;
         r.type = d.typeName();
         r.dflt = d.defaultValue();
+        // "warm" keys shape warmed state (change = new warmup
+        // checkpoint); "gated" ones only do while Hermes issues during
+        // warmup (hermes.warmup_issue=true).
+        r.warm = d.warmupAffecting ? "warm" : "gated";
         switch (d.type) {
           case ParamType::Int:
           case ParamType::Size:
@@ -642,17 +662,20 @@ ParamRegistry::describe() const
         type_w = std::max(type_w, r.type.size());
         dflt_w = std::max(dflt_w, r.dflt.size());
         range_w = std::max(range_w, r.range.size());
+        warm_w = std::max(warm_w, r.warm.size());
         rows.push_back(std::move(r));
     }
 
     std::string out;
     char buf[512];
     for (const Row &r : rows) {
-        std::snprintf(buf, sizeof(buf), "%-*s  %-*s  %-*s  %-*s  %s\n",
+        std::snprintf(buf, sizeof(buf),
+                      "%-*s  %-*s  %-*s  %-*s  %-*s  %s\n",
                       static_cast<int>(key_w), r.key.c_str(),
                       static_cast<int>(type_w), r.type.c_str(),
                       static_cast<int>(dflt_w), r.dflt.c_str(),
                       static_cast<int>(range_w), r.range.c_str(),
+                      static_cast<int>(warm_w), r.warm.c_str(),
                       r.doc.c_str());
         out += buf;
     }
@@ -682,12 +705,21 @@ Config
 SystemConfig::toConfig() const
 {
     Config out;
-    for (const ParamDef &d : ParamRegistry::instance().params())
-        out.set(d.key, d.get(*this));
+    for (const ParamDef &d : ParamRegistry::instance().params()) {
+        const std::string value = d.get(*this);
+        // Sparse keys render only off-default, keeping the rendered
+        // configuration — and every pinned pointFingerprint golden —
+        // byte-identical for configurations that never set them.
+        if (d.sparseRender && value == d.defaultValue())
+            continue;
+        out.set(d.key, value);
+    }
     // Explicitly-set model knobs only (std::map iterates sorted, so
     // the rendering — and the sweep fingerprint — is deterministic);
     // untouched configurations render exactly as before the registry.
     for (const auto &[key, value] : modelKnobs)
+        out.set(key, value);
+    for (const auto &[key, value] : corpusKnobs)
         out.set(key, value);
     return out;
 }
@@ -713,7 +745,7 @@ describeScenarioSpace()
             out += "  " + spec.name() + " (" + spec.category() + ")\n";
     }
     out += describeCorpus();
-    out += "parameters (key  type  default  range  doc):\n";
+    out += "parameters (key  type  default  range  warmup  doc):\n";
     out += ParamRegistry::instance().describe();
     return out;
 }

@@ -61,6 +61,23 @@ struct ParamDef
      * embedders) remain selectable.
      */
     int modelKind = -1;
+    /**
+     * Does this key shape the warmed (post-warmup) machine state? The
+     * warmup-checkpoint fingerprint (sim/simulator.hh) hashes exactly
+     * the warmup-affecting keys, so a sweep over measure-only keys can
+     * share one checkpoint. False only for the Hermes issue-side keys
+     * ("hermes.enabled", "hermes.issue_latency"), and even those count
+     * as warmup-affecting while Hermes issues during warmup
+     * (hermes.warmup_issue=true, the legacy default).
+     */
+    bool warmupAffecting = true;
+    /**
+     * Render this key in toConfig() only when it differs from its
+     * default. Keys added after the sweep goldens were pinned must be
+     * sparse: pointFingerprint hashes the full rendered configuration,
+     * so an always-rendered new key would shift every golden.
+     */
+    bool sparseRender = false;
 
     /** Current value of the field, in re-parseable string form. */
     std::function<std::string(const SystemConfig &)> get;

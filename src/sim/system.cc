@@ -291,11 +291,24 @@ System::clearAllStats()
 RunStats
 System::run(std::uint64_t warmup_instrs, std::uint64_t sim_instrs)
 {
+    runWarmup(warmup_instrs);
+    return runMeasure(sim_instrs);
+}
+
+void
+System::runWarmup(std::uint64_t warmup_instrs)
+{
     const int n = config_.numCores;
     // Generous watchdog: no workload here sustains IPC below ~0.01.
-    const std::uint64_t max_cycles =
-        (warmup_instrs + sim_instrs) * 400 + 1'000'000;
+    const std::uint64_t max_cycles = warmup_instrs * 400 + 1'000'000;
     const Stopwatch watch;
+
+    // Warmup-time Hermes issue gate: with hermes.warmup_issue=false the
+    // predictor still trains but no speculative requests are issued, so
+    // the warmed state is independent of the issue path.
+    if (!config_.hermesWarmupIssue)
+        for (auto &h : hermes_)
+            h->setIssueEnabled(false);
 
     auto all_reached = [&](std::uint64_t target) {
         for (const auto &c : cores_)
@@ -307,21 +320,35 @@ System::run(std::uint64_t warmup_instrs, std::uint64_t sim_instrs)
     while (!all_reached(warmup_instrs) && now_ < max_cycles)
         tick();
 
-    std::uint64_t warmup_executed = 0;
+    if (!config_.hermesWarmupIssue)
+        for (int i = 0; i < n; ++i)
+            hermes_[i]->setIssueEnabled(config_.hermesIssueEnabled &&
+                                        predictors_[i] != nullptr);
+
+    warmupExecuted_ = 0;
     for (const auto &c : cores_)
-        warmup_executed += c->instrsRetired();
+        warmupExecuted_ += c->instrsRetired();
+    warmupSeconds_ = watch.elapsedSeconds();
     clearAllStats();
-    const Cycle measure_start = now_;
+    measureStart_ = now_;
     finishCycle_.assign(n, 0);
+}
+
+RunStats
+System::runMeasure(std::uint64_t sim_instrs)
+{
+    const int n = config_.numCores;
+    const std::uint64_t max_cycles = sim_instrs * 400 + 1'000'000;
+    const Stopwatch watch;
 
     bool done = false;
-    while (!done && now_ < measure_start + max_cycles) {
+    while (!done && now_ < measureStart_ + max_cycles) {
         tick();
         done = true;
         for (int i = 0; i < n; ++i) {
             if (cores_[i]->instrsRetired() >= sim_instrs) {
                 if (finishCycle_[i] == 0)
-                    finishCycle_[i] = now_ - measure_start;
+                    finishCycle_[i] = now_ - measureStart_;
             } else {
                 done = false;
             }
@@ -329,10 +356,90 @@ System::run(std::uint64_t warmup_instrs, std::uint64_t sim_instrs)
     }
 
     RunStats stats = collect();
-    stats.simCycles = now_ - measure_start;
-    stats.hostPerf.seconds = watch.elapsedSeconds();
-    stats.hostPerf.instrs = warmup_executed + stats.instrsRetired();
+    stats.simCycles = now_ - measureStart_;
+    stats.hostPerf.seconds = warmupSeconds_ + watch.elapsedSeconds();
+    stats.hostPerf.instrs = warmupExecuted_ + stats.instrsRetired();
     return stats;
+}
+
+bool
+System::checkpointable() const
+{
+    for (const auto &wl : workloads_)
+        if (!wl->checkpointable())
+            return false;
+    if (!llc_->checkpointable())
+        return false;
+    for (const auto &c : l2_)
+        if (!c->checkpointable())
+            return false;
+    for (const auto &c : l1_)
+        if (!c->checkpointable())
+            return false;
+    if (prefetcher_ != nullptr && !prefetcher_->checkpointable())
+        return false;
+    for (const auto &p : predictors_)
+        if (p != nullptr && !p->checkpointable())
+            return false;
+    return true;
+}
+
+void
+System::saveState(StateWriter &w) const
+{
+    w.section("SYST");
+    w.u32(static_cast<std::uint32_t>(config_.numCores));
+    w.u64(now_);
+    for (const auto &wl : workloads_)
+        wl->saveState(w);
+    dram_->saveState(w);
+    llc_->saveState(w);
+    for (int i = 0; i < config_.numCores; ++i) {
+        l2_[i]->saveState(w);
+        l1_[i]->saveState(w);
+    }
+    if (prefetcher_ != nullptr)
+        prefetcher_->saveState(w);
+    for (const auto &p : predictors_)
+        if (p != nullptr)
+            p->saveState(w);
+    for (const auto &h : hermes_)
+        h->saveState(w);
+    for (const auto &c : cores_)
+        c->saveState(w);
+}
+
+void
+System::loadState(StateReader &r)
+{
+    r.section("SYST");
+    if (r.u32() != static_cast<std::uint32_t>(config_.numCores))
+        throw StateError("core count mismatch");
+    now_ = r.u64();
+    for (auto &wl : workloads_)
+        wl->loadState(r);
+    dram_->loadState(r);
+    llc_->loadState(r);
+    for (int i = 0; i < config_.numCores; ++i) {
+        l2_[i]->loadState(r);
+        l1_[i]->loadState(r);
+    }
+    if (prefetcher_ != nullptr)
+        prefetcher_->loadState(r);
+    for (auto &p : predictors_)
+        if (p != nullptr)
+            p->loadState(r);
+    for (auto &h : hermes_)
+        h->loadState(r);
+    for (auto &c : cores_)
+        c->loadState(r);
+    // Re-establish the snapshot seam: stats are zero by construction,
+    // the measurement window starts here, and this process did no
+    // warmup work (host-perf accounting).
+    measureStart_ = now_;
+    finishCycle_.assign(config_.numCores, 0);
+    warmupExecuted_ = 0;
+    warmupSeconds_ = 0.0;
 }
 
 RunStats

@@ -64,6 +64,14 @@ struct SystemConfig
     bool hermesIssueEnabled = false;
     /** Hermes-O: 6 cycles; Hermes-P: 18 cycles (Fig. 17c sweeps). */
     Cycle hermesIssueLatency = 6;
+    /**
+     * Issue Hermes requests during warmup too (the legacy behaviour).
+     * Turning this off makes warmed state independent of the Hermes
+     * issue path, so a sweep over issue-side parameters (e.g.
+     * hermes.issue_latency) can share one warmup checkpoint across all
+     * its points. The predictor still trains during warmup either way.
+     */
+    bool hermesWarmupIssue = true;
     PopetParams popet;
     HmpParams hmp;
     TtpParams ttp;
@@ -89,6 +97,14 @@ struct SystemConfig
      * construction.
      */
     std::map<std::string, std::string> modelKnobs;
+    /**
+     * Sparse corpus-generator knob overrides ("corpus.<gen>.<knob>" ->
+     * validated value string), applied by re-canonicalizing
+     * corpus-backed trace specs (trace/corpus.hh) before the workloads
+     * are opened. Like modelKnobs, only explicitly-set knobs appear, so
+     * pre-existing configurations render (and fingerprint) unchanged.
+     */
+    std::map<std::string, std::string> corpusKnobs;
 
     /** Resolved model names: the registry string when set, else the
      * legacy enum's name. This is what System actually instantiates. */
@@ -176,8 +192,36 @@ class System
      * Run warmup then measure. Each core executes at least
      * @p sim_instrs instructions in the measurement window; cores that
      * finish early keep executing (multi-programmed replay, §7).
+     * Equivalent to runWarmup() followed by runMeasure().
      */
     RunStats run(std::uint64_t warmup_instrs, std::uint64_t sim_instrs);
+
+    /**
+     * Warmup phase: execute @p warmup_instrs per core (Hermes issue
+     * gated by SystemConfig::hermesWarmupIssue), then clear all
+     * statistics. The post-warmup state is the snapshot seam: every
+     * counter is zero, so checkpoints carry only learned/queue state.
+     */
+    void runWarmup(std::uint64_t warmup_instrs);
+
+    /** Measurement phase; requires runWarmup() or loadState() first. */
+    RunStats runMeasure(std::uint64_t sim_instrs);
+
+    /**
+     * True iff every stateful component (workloads, caches via their
+     * replacement policy, predictor, prefetcher) opted into
+     * checkpointing. Registry models that don't are a clean "no
+     * checkpoint", never a wrong one.
+     */
+    bool checkpointable() const;
+
+    /**
+     * Serialize/restore the full warmed machine state. Only valid at
+     * the snapshot seam (immediately after runWarmup()); statistics are
+     * all zero there and are deliberately not part of the stream.
+     */
+    void saveState(StateWriter &w) const;
+    void loadState(StateReader &r);
 
     /** Single-stepping access for fine-grained tests. */
     void tick();
@@ -212,6 +256,12 @@ class System
     std::vector<std::unique_ptr<OooCore>> cores_;
     Cycle now_ = 0;
     std::vector<std::uint64_t> finishCycle_;
+    /** Measurement-window start (set at the end of runWarmup). */
+    Cycle measureStart_ = 0;
+    /** Warmup work done by *this process* (host-perf accounting only;
+     * zero after a checkpoint restore, which is the point). */
+    std::uint64_t warmupExecuted_ = 0;
+    double warmupSeconds_ = 0.0;
 };
 
 } // namespace hermes

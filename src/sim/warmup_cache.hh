@@ -1,0 +1,137 @@
+#pragma once
+
+/**
+ * @file
+ * Content-addressed warmup checkpoint store: a directory holding one
+ * serialized warmed machine state per distinct warmup identity, named
+ * by SimSession::warmupFingerprint() ("<hex16>.ckpt"). Any run — a
+ * hermes_sweep grid point, hermes_run, a bench driver — whose warmup
+ * identity matches an entry restores it instead of re-executing the
+ * warmup window, so a sweep over post-warmup parameters (e.g.
+ * hermes.issue_latency with hermes.warmup_issue=false) pays for warmup
+ * exactly once.
+ *
+ * Entry layout (SimSession::snapshot): "HRMCKPT1" magic, format
+ * version, the warmup fingerprint, every component's saveState stream
+ * and a trailing FNV-1a checksum.
+ *
+ * Trust model: load() verifies magic, version, fingerprint and
+ * checksum via SimSession::restore(); a corrupt, truncated or stale
+ * entry is unlinked and reported as a miss — the caller re-warms and
+ * the store rewrites the entry cleanly. Determinism makes concurrent
+ * writers safe: equal fingerprints imply byte-identical snapshots, and
+ * each store is an atomic tmp-file rename (trace_io's crash-safe
+ * ByteSink), so readers never see a torn checkpoint.
+ *
+ * Size is LRU-bounded (by mtime; hits touch it): after a store grows
+ * the directory past max_bytes / max_entries, the oldest entries are
+ * evicted until it fits. Both limits default to unbounded.
+ *
+ * Deliberately NOT part of the parameter registry, for the same reason
+ * as the result cache: registry keys feed fingerprints, so a cache
+ * knob there would change the identities it stores under. Addressed by
+ * CLI flag (--warmup-cache SPEC) or environment (HERMES_WARMUP_CACHE);
+ * see parseWarmupCacheSpec().
+ */
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "sim/simulator.hh"
+
+namespace hermes
+{
+
+/** Where the store lives and how big it may grow (0 = unbounded). */
+struct WarmupCacheConfig
+{
+    std::string dir;
+    std::uint64_t maxBytes = 0;
+    std::uint64_t maxEntries = 0;
+};
+
+/**
+ * Parse "DIR[,max_bytes=SIZE][,max_entries=N]" (the --warmup-cache
+ * flag and HERMES_WARMUP_CACHE syntax; SIZE takes K/M/G suffixes).
+ * Throws std::invalid_argument on malformed specs.
+ */
+WarmupCacheConfig parseWarmupCacheSpec(const std::string &spec);
+
+/** Hit/miss/housekeeping counters for one WarmupCache instance. */
+struct WarmupCacheStats
+{
+    std::size_t hits = 0;
+    std::size_t misses = 0;
+    /** Entries written (stores of already-present identities are free). */
+    std::size_t stores = 0;
+    /** Corrupt/stale entries unlinked during load(). */
+    std::size_t rejected = 0;
+    std::size_t evicted = 0;
+};
+
+/** The store itself. Thread-safe; one instance per process is enough. */
+class WarmupCache
+{
+  public:
+    /** Opens (mkdir -p) the directory. Throws std::runtime_error. */
+    explicit WarmupCache(WarmupCacheConfig cfg);
+
+    WarmupCache(const WarmupCache &) = delete;
+    WarmupCache &operator=(const WarmupCache &) = delete;
+
+    /**
+     * Try to restore @p session (built phase) from the entry matching
+     * its warmup fingerprint. True on success (session is warmed); a
+     * missing entry is a miss and a corrupt/stale entry is unlinked
+     * and counts as a miss (session stays built either way).
+     */
+    bool load(SimSession &session);
+
+    /**
+     * Persist @p session's warmed state (warmed phase) under its
+     * warmup fingerprint: stream to a tmp file, fsync, atomically
+     * rename, evict past the budget. Already-present identities are
+     * skipped (first writer wins; determinism makes them identical).
+     */
+    void store(SimSession &session);
+
+    /**
+     * Serialize threads warming the same identity: the returned lock
+     * holds a per-fingerprint mutex, so within one process a shared
+     * warmup really runs once and the rest restore its checkpoint.
+     * Distinct fingerprints proceed in parallel.
+     */
+    std::unique_lock<std::mutex> lockFingerprint(std::uint64_t fp);
+
+    const std::string &dir() const { return cfg_.dir; }
+    const WarmupCacheStats &stats() const { return stats_; }
+
+    /** Live count of "*.ckpt" entries (rescans the directory). */
+    std::size_t entryCount() const;
+
+    /** Entry filename for a warmup fingerprint: "<hex16>.ckpt". */
+    static std::string entryName(std::uint64_t fp);
+
+  private:
+    void evictToBudgetLocked();
+
+    WarmupCacheConfig cfg_;
+    mutable std::mutex mutex_;
+    WarmupCacheStats stats_;
+    /** Never erased; bounded by the distinct identities of one run. */
+    std::map<std::uint64_t, std::unique_ptr<std::mutex>> fpLocks_;
+};
+
+/**
+ * The one driver every caller shares: build @p session, obtain the
+ * warmed state — restored from @p cache when possible, else by running
+ * warmup (and storing the result) — then measure and return the stats.
+ * A null @p cache, or a session with a non-checkpointable component,
+ * degrades to the plain build/warmup/measure sequence.
+ */
+RunStats runSession(SimSession &session, WarmupCache *cache);
+
+} // namespace hermes

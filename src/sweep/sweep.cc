@@ -12,6 +12,7 @@
 
 #include "common/config.hh"
 #include "sim/report.hh"
+#include "sim/warmup_cache.hh"
 
 namespace hermes::sweep
 {
@@ -64,14 +65,23 @@ class StealQueue
 
 RunStats
 simulatePoint(const GridPoint &point, std::uint64_t seed,
-              SeedPolicy policy)
+              SeedPolicy policy, WarmupCache *warmup_cache)
 {
     GridPoint p = point;
     if (policy == SeedPolicy::PerPoint)
         p.config.seed = seed;
-    if (p.traces.size() == 1 && p.config.numCores == 1)
-        return simulateOne(p.config, p.traces[0], p.budget);
-    return simulateMix(p.config, p.traces, p.budget);
+    // Grid builders emit fully-specified trace lists, so unlike the
+    // simulate() shim (which replicates a lone trace across cores) a
+    // count mismatch here is a caller bug and must propagate.
+    if (p.traces.size() != static_cast<std::size_t>(p.config.numCores) &&
+        !(p.traces.size() == 1 && p.config.numCores == 1))
+        throw std::invalid_argument("need one trace per core");
+    // The session path is stats-identical to the legacy
+    // simulateOne/simulateMix shims; the cache only short-circuits the
+    // warmup window (fingerprint-keyed, so a PerPoint seed policy
+    // yields per-point identities and simply never shares).
+    SimSession session(p.config, p.traces, p.budget);
+    return runSession(session, warmup_cache);
 }
 
 } // namespace
@@ -201,8 +211,9 @@ SweepEngine::run(const std::vector<GridPoint> &grid,
         r.index = i;
         r.label = grid[i].label;
         try {
-            r.stats = simulatePoint(
-                grid[i], pointSeed(opts_.seedBase, i), opts_.seedPolicy);
+            r.stats = simulatePoint(grid[i],
+                                    pointSeed(opts_.seedBase, i),
+                                    opts_.seedPolicy, opts_.warmupCache);
         } catch (...) {
             r.ok = false;
             record_error();

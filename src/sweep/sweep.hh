@@ -22,6 +22,11 @@
 #include "sim/system.hh"
 #include "trace/suite.hh"
 
+namespace hermes
+{
+class WarmupCache;
+}
+
 namespace hermes::sweep
 {
 
@@ -95,6 +100,15 @@ struct SweepOptions
     std::uint64_t seedBase = 1;
     /** Invoked under an internal mutex; may be empty. */
     ProgressFn onProgress;
+    /**
+     * Warmup checkpoint store (sim/warmup_cache.hh). Points whose
+     * warmup identity is already present restore the warmed state
+     * instead of re-executing the warmup window; each distinct
+     * identity warms exactly once per store (per-fingerprint locks
+     * cover the in-process workers, first-writer-wins covers
+     * processes). Stats are unaffected either way. May be nullptr.
+     */
+    WarmupCache *warmupCache = nullptr;
 };
 
 /**

@@ -357,11 +357,146 @@ makeCorpusTrace(const std::string &spec)
     return TraceSpec{std::move(params)};
 }
 
+namespace
+{
+
+/** Split a "corpus.<gen>.<knob>" override key; throws on bad shape. */
+void
+splitOverrideKey(const std::string &key, std::string &gen_name,
+                 std::string &knob_name)
+{
+    const std::size_t prefix_len = std::strlen(kPrefix);
+    const std::size_t dot = key.find('.', prefix_len);
+    if (key.rfind(kPrefix, 0) != 0 || dot == std::string::npos ||
+        dot == prefix_len || dot + 1 >= key.size())
+        throw std::invalid_argument(
+            "corpus override '" + key +
+            "': expected corpus.<generator>.<knob>");
+    gen_name = key.substr(prefix_len, dot - prefix_len);
+    knob_name = key.substr(dot + 1);
+}
+
+/** Resolve generator + knob for an override key; throws with
+ * suggestions. */
+const CorpusKnob &
+findOverrideKnob(const std::string &key, const CorpusGenerator *&gen_out)
+{
+    std::string gen_name, knob_name;
+    splitOverrideKey(key, gen_name, knob_name);
+
+    const CorpusGenerator *gen = nullptr;
+    for (const auto &g : corpusGenerators())
+        if (gen_name == g.name) {
+            gen = &g;
+            break;
+        }
+    if (gen == nullptr) {
+        std::vector<std::string> names;
+        for (const auto &g : corpusGenerators())
+            names.push_back(g.name);
+        std::string msg = "corpus override '" + key +
+                          "': unknown generator '" + gen_name + "'";
+        const std::string s = nearest(gen_name, names);
+        if (!s.empty())
+            msg += " (did you mean '" + s + "'?)";
+        throw std::invalid_argument(msg);
+    }
+    for (const auto &k : gen->knobs)
+        if (knob_name == k.key) {
+            gen_out = gen;
+            return k;
+        }
+    std::vector<std::string> keys;
+    for (const auto &k : gen->knobs)
+        keys.push_back(k.key);
+    std::string msg = "corpus override '" + key + "': generator '" +
+                      gen_name + "' has no knob '" + knob_name + "'";
+    const std::string s = nearest(knob_name, keys);
+    if (!s.empty())
+        msg += " (did you mean '" + s + "'?)";
+    throw std::invalid_argument(msg);
+}
+
+} // namespace
+
+void
+validateCorpusOverride(const std::string &key, const std::string &value)
+{
+    const CorpusGenerator *gen = nullptr;
+    const CorpusKnob &knob = findOverrideKnob(key, gen);
+    const auto parsed = parseFiniteDouble(value);
+    if (!parsed)
+        throw std::invalid_argument(key + ": invalid number '" + value +
+                                    "'");
+    const double v = *parsed;
+    if (knob.integer && v != std::floor(v))
+        throw std::invalid_argument(key + ": expected an integer, got '" +
+                                    value + "'");
+    if (v < knob.min || v > knob.max)
+        throw std::invalid_argument(
+            key + ": " + value + " out of range [" +
+            formatKnobValue(knob, knob.min) + ", " +
+            formatKnobValue(knob, knob.max) + "]");
+}
+
+std::vector<TraceSpec>
+applyCorpusOverrides(std::vector<TraceSpec> traces,
+                     const std::map<std::string, std::string> &knobs)
+{
+    if (knobs.empty())
+        return traces;
+    for (const auto &[key, value] : knobs) {
+        const CorpusGenerator *gen = nullptr;
+        const CorpusKnob &knob = findOverrideKnob(key, gen);
+        std::string gen_name, knob_name;
+        splitOverrideKey(key, gen_name, knob_name);
+        // Normalize through the validated double so the rebuilt spec
+        // canonicalizes identically to the inline spelling.
+        validateCorpusOverride(key, value);
+        const std::string canon_value =
+            formatKnobValue(knob, *parseFiniteDouble(value));
+
+        const std::string spec_prefix = std::string(kPrefix) + gen_name;
+        bool matched = false;
+        for (TraceSpec &trace : traces) {
+            const std::string &name = trace.name();
+            if (!isCorpusSpec(name))
+                continue;
+            if (name != spec_prefix &&
+                name.rfind(spec_prefix + ":", 0) != 0)
+                continue;
+            matched = true;
+            // Drop any inline setting of the same knob, then append the
+            // override; makeCorpusTrace re-canonicalizes the order.
+            std::string rebuilt = spec_prefix;
+            std::size_t start = spec_prefix.size();
+            while (start < name.size()) {
+                const std::size_t next = name.find(':', start + 1);
+                const std::size_t end =
+                    next == std::string::npos ? name.size() : next;
+                const std::string field =
+                    name.substr(start + 1, end - start - 1);
+                if (field.rfind(knob_name + "=", 0) != 0)
+                    rebuilt += ":" + field;
+                start = end;
+            }
+            rebuilt += ":" + knob_name + "=" + canon_value;
+            trace = makeCorpusTrace(rebuilt);
+        }
+        if (!matched)
+            throw std::invalid_argument(
+                key + ": no trace in this run uses generator 'corpus." +
+                gen_name + "' (the override would be dead)");
+    }
+    return traces;
+}
+
 std::string
 describeCorpus()
 {
     std::ostringstream out;
-    out << "Corpus generators (corpus.<name>[:knob=value]...):\n";
+    out << "Corpus generators (corpus.<name>[:knob=value]...; also "
+           "settable as corpus.<name>.<knob> config keys):\n";
     for (const auto &g : corpusGenerators()) {
         out << "  corpus." << g.name << " — " << g.doc << "\n";
         for (const auto &k : g.knobs)

@@ -22,6 +22,7 @@
  * trace name matters (reports, result-cache keys, pointFingerprint).
  */
 
+#include <map>
 #include <string>
 #include <vector>
 
@@ -66,5 +67,25 @@ TraceSpec makeCorpusTrace(const std::string &spec);
 
 /** Human-readable generator/knob reference (docs gate + --list). */
 std::string describeCorpus();
+
+/**
+ * Validate a "corpus.<generator>.<knob>" configuration override (the
+ * param-registry spelling of a generator knob, so sweep axes can vary
+ * corpus workloads like any "llc.*" key).
+ * @throws std::invalid_argument naming the generator/knob/value defect.
+ */
+void validateCorpusOverride(const std::string &key,
+                            const std::string &value);
+
+/**
+ * Re-canonicalize every corpus-backed spec in @p traces with the
+ * "corpus.<generator>.<knob>" overrides in @p knobs applied (an
+ * override replaces the same knob spelled inline in the spec).
+ * @throws std::invalid_argument if an override targets a generator no
+ *         trace in the list uses (a silently-dead axis otherwise).
+ */
+std::vector<TraceSpec>
+applyCorpusOverrides(std::vector<TraceSpec> traces,
+                     const std::map<std::string, std::string> &knobs);
 
 } // namespace hermes

@@ -22,6 +22,7 @@
 
 #include "common/ring.hh"
 #include "common/rng.hh"
+#include "common/state_io.hh"
 #include "common/types.hh"
 #include "trace/workload.hh"
 
@@ -115,6 +116,76 @@ class SyntheticWorkload : public Workload
     std::unique_ptr<Workload> clone(std::uint64_t seed_offset) const override;
 
     const SyntheticParams &params() const { return params_; }
+
+    bool checkpointable() const override { return true; }
+
+    void
+    saveState(StateWriter &w) const override
+    {
+        w.section("WSYN");
+        const Rng::State rs = rng_.state();
+        w.u64(rs.s0);
+        w.u64(rs.s1);
+        w.u64(buffer_.size());
+        for (std::size_t i = 0; i < buffer_.size(); ++i) {
+            const TraceInstr &t = buffer_.at(i);
+            w.u64(t.pc);
+            w.u8(static_cast<std::uint8_t>(t.kind));
+            w.u64(t.vaddr);
+            w.b(t.branchTaken);
+            w.u32(t.depDistance);
+        }
+        w.u32(emitted_);
+        w.u64(sweepPos_);
+        w.u64(loopCounter_);
+        for (std::uint64_t v : chaseNode_)
+            w.u64(v);
+        for (std::uint32_t v : lastChaseEmit_)
+            w.u32(v);
+        w.u64(vertex_);
+        w.u64(sweepLoadRing_.size());
+        for (std::uint32_t v : sweepLoadRing_)
+            w.u32(v);
+        w.u64(sweepLoadCount_);
+        w.u64(edgeCursor_);
+        w.u64(row_);
+    }
+
+    void
+    loadState(StateReader &r) override
+    {
+        r.section("WSYN");
+        Rng::State rs;
+        rs.s0 = r.u64();
+        rs.s1 = r.u64();
+        rng_.setState(rs);
+        buffer_.clear();
+        const std::size_t n = r.count(1u << 20);
+        for (std::size_t i = 0; i < n; ++i) {
+            TraceInstr t;
+            t.pc = r.u64();
+            t.kind = static_cast<InstrKind>(r.u8());
+            t.vaddr = r.u64();
+            t.branchTaken = r.b();
+            t.depDistance = r.u32();
+            buffer_.push_back(t);
+        }
+        emitted_ = r.u32();
+        sweepPos_ = r.u64();
+        loopCounter_ = r.u64();
+        for (std::uint64_t &v : chaseNode_)
+            v = r.u64();
+        for (std::uint32_t &v : lastChaseEmit_)
+            v = r.u32();
+        vertex_ = r.u64();
+        const std::size_t m = r.count(1u << 20);
+        sweepLoadRing_.assign(m, 0);
+        for (std::uint32_t &v : sweepLoadRing_)
+            v = r.u32();
+        sweepLoadCount_ = r.u64();
+        edgeCursor_ = r.u64();
+        row_ = r.u64();
+    }
 
   private:
     /** Generate one loop-body block of instructions into the buffer. */

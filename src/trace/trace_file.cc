@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "common/rng.hh"
+#include "common/state_io.hh"
 #include "trace/trace_io.hh"
 
 namespace hermes
@@ -86,6 +87,34 @@ FileWorkload::clone(std::uint64_t seed_offset) const
         static_cast<void>(copy->reader_->next(t));
     copy->pos_ = start;
     return copy;
+}
+
+void
+FileWorkload::saveState(StateWriter &w) const
+{
+    w.section("WFIL");
+    w.str(name_);
+    w.u64(instrCount_);
+    w.u64(pos_);
+}
+
+void
+FileWorkload::loadState(StateReader &r)
+{
+    r.section("WFIL");
+    const std::string name = r.str();
+    const std::uint64_t count = r.u64();
+    const std::uint64_t target = r.u64();
+    if (name != name_ || count != instrCount_ || target > instrCount_)
+        throw StateError("checkpointed trace '" + name +
+                         "' does not match workload '" + name_ + "'");
+    // Reposition by replaying through next(): the reader's compressed
+    // stream state rebuilds itself, and the loop/rewind behavior is by
+    // construction identical to a straight run's.
+    reader_->rewind();
+    pos_ = 0;
+    for (std::uint64_t i = 0; i < target; ++i)
+        static_cast<void>(next());
 }
 
 std::size_t

@@ -85,6 +85,15 @@ class FileWorkload : public Workload
     /** Fixed buffering held by the streaming reader. */
     std::size_t residentBytes() const;
 
+    /**
+     * File replays checkpoint as their absolute loop position: restore
+     * rewinds the reader and re-skips, so the (stateful, compressed)
+     * reader internals never have to serialize.
+     */
+    bool checkpointable() const override { return true; }
+    void saveState(StateWriter &w) const override;
+    void loadState(StateReader &r) override;
+
   private:
     FileWorkload() = default;
 

@@ -20,6 +20,9 @@
 namespace hermes
 {
 
+class StateReader;
+class StateWriter;
+
 /** Instruction classes the core model distinguishes. */
 enum class InstrKind : std::uint8_t
 {
@@ -72,6 +75,20 @@ class Workload
      */
     virtual std::unique_ptr<Workload> clone(std::uint64_t seed_offset) const
         = 0;
+
+    /**
+     * True when saveState/loadState round-trip this workload's cursor
+     * exactly (sim/simulator.hh warmup checkpoints). Defaults to false:
+     * a workload that does not opt in simply disables checkpointing for
+     * runs that use it — never a wrong checkpoint.
+     */
+    virtual bool checkpointable() const { return false; }
+
+    /** Serialize the stream cursor (only if checkpointable()). */
+    virtual void saveState(StateWriter &) const {}
+
+    /** Restore a cursor written by saveState on an identical workload. */
+    virtual void loadState(StateReader &) {}
 };
 
 } // namespace hermes

@@ -22,6 +22,14 @@
 #                                        simulates 0 points yet emits
 #                                        byte-identical golden-matching
 #                                        fingerprints
+#   tools/ci_sweep.sh warmup-warm CACHE OUTDIR
+#                                        run the two-point issue-latency
+#                                        grid uncached, then twice
+#                                        against one warmup checkpoint
+#                                        store; assert warmup runs
+#                                        exactly once, restores restore,
+#                                        and all three fingerprints
+#                                        match the pinned golden
 #
 # HERMES_SWEEP points at the hermes_sweep binary (default:
 # build/hermes_sweep relative to the repo root).
@@ -58,6 +66,17 @@ fig16_space() {
         --axis "predictor=hmp,ttp,popet" \
         --mix "$hetero_mix" --trace spec06.mcf_like.0 \
         --warmup 2000 --instrs 6000 \
+        --no-progress "$@"
+}
+
+# Two-point issue-latency sweep whose points share one warmup identity
+# (hermes.warmup_issue=false makes hermes.issue_latency measure-only):
+# the checkpointed-warmup probe for the warmup-warm gate.
+warmlat_space() {
+    "$sweep_bin" \
+        predictor=popet hermes.enabled=true hermes.warmup_issue=false \
+        --axis "hermes.issue_latency=6,18" \
+        --trace corpus.chase --warmup 6000 --instrs 20000 \
         --no-progress "$@"
 }
 
@@ -169,6 +188,56 @@ warm)
     done
     step_summary "| warm rerun | 0 points simulated, fingerprints match golden |"
     ;;
+warmup-warm)
+    cache="${1:?warmup cache dir}"
+    out="${2:?output dir}"
+    mkdir -p "$out"
+    # Keep ambient stores out of the gate: the point is the warmup
+    # cache, and a result-store hit would skip simulation entirely.
+    unset HERMES_RESULT_CACHE HERMES_WARMUP_CACHE
+    warmlat_space --fingerprint >"$out/warmlat-base.fp" \
+        2>"$out/warmlat-base.log"
+    for pass in 1 2; do
+        warmlat_space --warmup-cache "$cache" \
+            --fingerprint >"$out/warmlat-pass$pass.fp" \
+            2>"$out/warmlat-pass$pass.log"
+        cat "$out/warmlat-pass$pass.log" >&2
+    done
+    # Cold pass: the shared identity warms once, the other point
+    # restores; warm pass: both points restore, zero warmups.
+    if ! grep -q "warmup-cache: 1 warmed, 1 restored" \
+        "$out/warmlat-pass1.log"; then
+        echo "FAIL: cold pass did not warm exactly once:" >&2
+        cat "$out/warmlat-pass1.log" >&2
+        exit 1
+    fi
+    if ! grep -q "warmup-cache: 0 warmed, 2 restored" \
+        "$out/warmlat-pass2.log"; then
+        echo "FAIL: warm pass re-ran a warmup:" >&2
+        cat "$out/warmlat-pass2.log" >&2
+        exit 1
+    fi
+    # Restored-from-checkpoint results must be byte-identical to the
+    # uncached run — and to the pinned golden.
+    for pass in 1 2; do
+        if ! cmp -s "$out/warmlat-base.fp" "$out/warmlat-pass$pass.fp"; then
+            echo "FAIL: warmup-cached pass $pass fingerprint differs" \
+                "from the uncached run" >&2
+            exit 1
+        fi
+    done
+    got="$(cat "$out/warmlat-base.fp")"
+    want="$(awk -v f=warmlat '$1 == f {print $2}' "$golden_file")"
+    if [ "$got" != "$want" ]; then
+        echo "FAIL: warmlat fingerprint $got != golden $want" >&2
+        echo "      (tools/ci_sweep.sh golden regenerates the golden" \
+            "after an intentional simulation change)" >&2
+        exit 1
+    fi
+    echo "OK: warmup-warm warmed once, restored 3 points, fingerprint" \
+        "$got matches golden"
+    step_summary "| warmup-warm | 1 warmup, 3 restores, fingerprint matches golden |"
+    ;;
 golden)
     out="${1:?output dir}"
     mkdir -p "$out"
@@ -176,6 +245,8 @@ golden)
         --fingerprint >"$out/fig12.fingerprint"
     fig16_space --journal "$out/fig16.jsonl" --csv "$out/fig16.csv" \
         --fingerprint >"$out/fig16.fingerprint"
+    warmlat_space --journal "$out/warmlat.jsonl" \
+        --fingerprint >"$out/warmlat.fingerprint"
     {
         echo "# Pinned sweep fingerprints for the sharded CI figure"
         echo "# pipeline (tools/ci_sweep.sh); the merge of the 4 shard"
@@ -184,12 +255,14 @@ golden)
         echo "# simulation-visible change."
         echo "fig12 $(cat "$out/fig12.fingerprint")"
         echo "fig16 $(cat "$out/fig16.fingerprint")"
+        echo "warmlat $(cat "$out/warmlat.fingerprint")"
     } >"$golden_file"
     echo "wrote $golden_file:"
     grep -v '^#' "$golden_file"
     ;;
 *)
-    echo "unknown command '$cmd' (want shard|merge|golden|spacefp|warm)" >&2
+    echo "unknown command '$cmd' (want" \
+        "shard|merge|golden|spacefp|warm|warmup-warm)" >&2
     exit 2
     ;;
 esac
