@@ -55,7 +55,7 @@ usage(const char *argv0)
         "usage: %s [--threads N] [--suite SPEC] [--scale F]\n"
         "          [--csv FILE] [--json FILE] [--stats LIST]\n"
         "          [--progress|--no-progress]\n"
-        "          [--mips] [--shard i/N] [--journal FILE]\n"
+        "          [--mips] [--profile] [--shard i/N] [--journal FILE]\n"
         "          [--resume FILE]... [--cache SPEC] [--no-cache]\n"
         "          [--warmup-cache SPEC] [--no-warmup-cache]\n"
         "          [--list]\n"
@@ -76,6 +76,9 @@ usage(const char *argv0)
         "  --progress    per-point meter with points/sec and ETA\n"
         "  --mips        report simulated-MIPS per grid and add\n"
         "                sim_mips/host_seconds columns to the dumps\n"
+        "  --profile     per-component host-time breakdown per grid\n"
+        "                (exports HERMES_PROFILE; host-side only,\n"
+        "                simulated results are unaffected)\n"
         "  --shard i/N   simulate only slice i of every grid's\n"
         "                deterministic N-way partition\n"
         "  --journal FILE  record completed points as crash-safe JSONL\n"
@@ -185,6 +188,11 @@ initCli(int argc, char **argv)
             g_cli.progress = false;
         } else if (arg == "--mips") {
             g_cli.mips = true;
+        } else if (arg == "--profile") {
+            g_cli.profile = true;
+            // Systems read the knob at construction time, so export it
+            // before any grid fans out.
+            setenv("HERMES_PROFILE", "1", 1);
         } else if (arg == "--shard") {
             try {
                 g_cli.shard = sweep::parseShardSpec(value());
@@ -423,6 +431,39 @@ runGrid(const std::vector<sweep::GridPoint> &grid)
                          " = %.2f MIPS\n",
                          static_cast<unsigned long>(instrs), seconds,
                          static_cast<double>(instrs) / seconds / 1e6);
+    }
+    if (g_cli.profile) {
+        HostProfile prof;
+        for (const auto &r : results) {
+            const HostProfile &p = r.stats.profile;
+            prof.enabled = prof.enabled || p.enabled;
+            prof.dramSeconds += p.dramSeconds;
+            prof.llcSeconds += p.llcSeconds;
+            prof.l2Seconds += p.l2Seconds;
+            prof.l1Seconds += p.l1Seconds;
+            prof.coreSeconds += p.coreSeconds;
+            prof.horizonSeconds += p.horizonSeconds;
+            prof.tickedCycles += p.tickedCycles;
+            prof.skippedCycles += p.skippedCycles;
+        }
+        const std::uint64_t cycles =
+            prof.tickedCycles + prof.skippedCycles;
+        std::fprintf(
+            stderr,
+            "profile: %lu ticked + %lu skipped cycles (%.1f%% "
+            "skipped)\n",
+            static_cast<unsigned long>(prof.tickedCycles),
+            static_cast<unsigned long>(prof.skippedCycles),
+            cycles ? 100.0 * static_cast<double>(prof.skippedCycles) /
+                         static_cast<double>(cycles)
+                   : 0.0);
+        if (prof.enabled)
+            std::fprintf(stderr,
+                         "profile: dram %.3fs llc %.3fs l2 %.3fs "
+                         "l1 %.3fs core %.3fs horizon %.3fs\n",
+                         prof.dramSeconds, prof.llcSeconds,
+                         prof.l2Seconds, prof.l1Seconds,
+                         prof.coreSeconds, prof.horizonSeconds);
     }
     {
         std::lock_guard<std::mutex> g(g_all_results_mutex);

@@ -20,9 +20,10 @@
  *  --threads N (0 = all hardware threads), --suite quick|full,
  *  --scale F, --csv FILE, --json FILE, --stats LIST (registry column
  *  selection for the dumps, e.g. "core.ipc,llc.mpki,dram.*"),
- *  --progress, --no-progress, --mips, --list (print available
- *  predictors, prefetchers, suites and registry parameters, then
- *  exit).
+ *  --progress, --no-progress, --mips, --profile (per-component
+ *  host-time breakdown per grid; exports HERMES_PROFILE), --list
+ *  (print available predictors, prefetchers, suites and registry
+ *  parameters, then exit).
  *
  * Fleet orchestration (see src/sweep/journal.hh): every grid a driver
  * fans out is journaled, shardable and resumable with the same flags
@@ -78,6 +79,14 @@ struct CliOptions
      * columns to the --csv/--json dumps.
      */
     bool mips = false;
+    /**
+     * Per-component host-time attribution: exports HERMES_PROFILE so
+     * every simulated System accumulates per-stage seconds (see
+     * src/sim/perf.hh and docs/performance.md) and prints an aggregate
+     * breakdown after each grid. Host-side only — never affects
+     * simulated results or fingerprints.
+     */
+    bool profile = false;
     /** Write every simulated grid point as CSV/JSON on exit. */
     std::string csvPath;
     std::string jsonPath;

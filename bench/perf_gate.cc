@@ -67,6 +67,7 @@ main(int argc, char **argv)
 
     std::uint64_t instrs = 0;
     double seconds = 0;
+    HostProfile prof;
     std::string points_json;
     std::printf("== perf_gate: quickSuite hot-path throughput ==\n");
     for (const auto &r : results) {
@@ -76,6 +77,16 @@ main(int argc, char **argv)
                     static_cast<unsigned long>(hp.instrs), hp.seconds);
         instrs += hp.instrs;
         seconds += hp.seconds;
+        const HostProfile &p = r.stats.profile;
+        prof.enabled = prof.enabled || p.enabled;
+        prof.dramSeconds += p.dramSeconds;
+        prof.llcSeconds += p.llcSeconds;
+        prof.l2Seconds += p.l2Seconds;
+        prof.l1Seconds += p.l1Seconds;
+        prof.coreSeconds += p.coreSeconds;
+        prof.horizonSeconds += p.horizonSeconds;
+        prof.tickedCycles += p.tickedCycles;
+        prof.skippedCycles += p.skippedCycles;
         if (!points_json.empty())
             points_json += ",";
         char buf[256];
@@ -90,6 +101,22 @@ main(int argc, char **argv)
         seconds > 0 ? static_cast<double>(instrs) / seconds / 1e6 : 0;
     std::printf("aggregate: %lu instrs in %.3f s = %.3f MIPS\n",
                 static_cast<unsigned long>(instrs), seconds, mips);
+    const std::uint64_t total_cycles =
+        prof.tickedCycles + prof.skippedCycles;
+    std::printf("event-horizon: %lu ticked + %lu skipped cycles "
+                "(%.1f%% skipped)\n",
+                static_cast<unsigned long>(prof.tickedCycles),
+                static_cast<unsigned long>(prof.skippedCycles),
+                total_cycles ? 100.0 *
+                                   static_cast<double>(prof.skippedCycles) /
+                                   static_cast<double>(total_cycles)
+                             : 0.0);
+    if (prof.enabled)
+        std::printf("profile: dram %.3fs llc %.3fs l2 %.3fs l1 %.3fs "
+                    "core %.3fs horizon %.3fs\n",
+                    prof.dramSeconds, prof.llcSeconds, prof.l2Seconds,
+                    prof.l1Seconds, prof.coreSeconds,
+                    prof.horizonSeconds);
 
     char head[256];
     std::snprintf(head, sizeof(head),
@@ -98,8 +125,26 @@ main(int argc, char **argv)
                   "  \"mips\": %.3f,\n  \"points\": [",
                   cli().threads, static_cast<unsigned long>(instrs),
                   seconds, mips);
+    char prof_json[512];
+    std::snprintf(
+        prof_json, sizeof(prof_json),
+        ",\n  \"profile\": {\n"
+        "    \"enabled\": %s,\n"
+        "    \"ticked_cycles\": %lu,\n"
+        "    \"skipped_cycles\": %lu,\n"
+        "    \"dram_seconds\": %.6f,\n"
+        "    \"llc_seconds\": %.6f,\n"
+        "    \"l2_seconds\": %.6f,\n"
+        "    \"l1_seconds\": %.6f,\n"
+        "    \"core_seconds\": %.6f,\n"
+        "    \"horizon_seconds\": %.6f\n  }",
+        prof.enabled ? "true" : "false",
+        static_cast<unsigned long>(prof.tickedCycles),
+        static_cast<unsigned long>(prof.skippedCycles),
+        prof.dramSeconds, prof.llcSeconds, prof.l2Seconds,
+        prof.l1Seconds, prof.coreSeconds, prof.horizonSeconds);
     const std::string json =
-        std::string(head) + points_json + "\n  ]\n}\n";
+        std::string(head) + points_json + "\n  ]" + prof_json + "\n}\n";
     if (!out_path.empty()) {
         std::ofstream out(out_path);
         out << json;

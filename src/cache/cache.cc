@@ -26,6 +26,7 @@ Cache::Cache(CacheParams params)
       tags_(static_cast<std::size_t>(params_.sets) * params_.ways,
             kInvalidTag),
       lineFlags_(static_cast<std::size_t>(params_.sets) * params_.ways, 0),
+      setFill_(params_.sets, 0),
       mshrs_(params_.mshrs),
       mshrIndex_(params_.mshrs),
       freeMask_((params_.mshrs + 63) / 64, 0),
@@ -460,11 +461,12 @@ Cache::installLine(Addr line, Addr pc, AccessType type, bool dirty,
     const std::uint32_t set = setIndex(line);
     const std::size_t base = static_cast<std::size_t>(set) * params_.ways;
     std::uint32_t way = params_.ways;
-    for (std::uint32_t w = 0; w < params_.ways; ++w) {
-        if (tags_[base + w] == kInvalidTag) {
-            way = w;
-            break;
-        }
+    if (setFill_[set] < params_.ways) {
+        // Cold set: take the lowest invalid way (guaranteed to exist).
+        way = 0;
+        while (tags_[base + way] != kInvalidTag)
+            ++way;
+        ++setFill_[set];
     }
     if (way == params_.ways) {
         way = replVictim(set);
@@ -623,6 +625,14 @@ Cache::loadState(StateReader &r)
         t = r.u64();
     for (std::uint8_t &f : lineFlags_)
         f = r.u8();
+    // setFill_ is derived from the tag array: recount valid ways.
+    std::fill(setFill_.begin(), setFill_.end(), 0u);
+    for (std::uint32_t s = 0; s < params_.sets; ++s) {
+        const std::size_t b = static_cast<std::size_t>(s) * params_.ways;
+        for (std::uint32_t w = 0; w < params_.ways; ++w)
+            if (tags_[b + w] != kInvalidTag)
+                ++setFill_[s];
+    }
     if (r.u64() != mshrs_.size())
         throw StateError("cache mshr file size mismatch");
     for (Mshr &m : mshrs_) {

@@ -34,6 +34,7 @@
  *    levels in low-MPKI phases.
  */
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -146,13 +147,47 @@ class Cache final : public MemDevice, public MemClient
         now_ = now;
         if (unsentMshrs_ != 0)
             retryUnsentMshrs();
-        if (!wq_.empty())
+        // Each sweep is a pure no-op until its queue front's deadline
+        // (the earliest in the queue — see nextEventCycle) arrives, so
+        // gate the out-of-line calls on it.
+        if (!wq_.empty() && wq_.front().readyAt <= now)
             processWrites(now);
-        if (!rq_.empty())
+        if (!rq_.empty() && rq_.front().readyAt <= now)
             processReads(now);
-        if (!pq_.empty())
+        if (!pq_.empty() && pq_.front().readyAt <= now)
             processPrefetches(now);
     }
+
+    /**
+     * Event-horizon contract (docs/performance.md): a lower bound on
+     * the next cycle at which ticking this cache could process work it
+     * already holds. Ring queues keep their earliest deadline at the
+     * front (appends carry now + latency with a monotone clock; retry
+     * push-fronts carry now), so only the three fronts are inspected.
+     * Fills arriving from below create new work but are themselves
+     * events of the lower level's horizon. Never less than @p now + 1.
+     */
+    Cycle
+    nextEventCycle(Cycle now) const
+    {
+        if (unsentMshrs_ != 0)
+            return now + 1; // forward retries run every cycle
+        Cycle horizon = kNoEventCycle;
+        if (!wq_.empty())
+            horizon = std::min(horizon,
+                               std::max(wq_.front().readyAt, now + 1));
+        if (!rq_.empty())
+            horizon = std::min(horizon,
+                               std::max(rq_.front().readyAt, now + 1));
+        if (!pq_.empty())
+            horizon = std::min(horizon,
+                               std::max(pq_.front().readyAt, now + 1));
+        return horizon;
+    }
+
+    /** Emulate an event-free span ending at @p now: such ticks only
+     * advance the cache clock (used to stamp enqueues from above). */
+    void skipTo(Cycle now) { now_ = now; }
 
     // MemClient (fill from the lower level)
     void returnData(const MemRequest &req) override;
@@ -257,6 +292,11 @@ class Cache final : public MemDevice, public MemClient
     // Flat tag/metadata store: tags_[set*ways + way].
     std::vector<Addr> tags_;
     std::vector<std::uint8_t> lineFlags_;
+    /** Valid ways per set. Lines are never invalidated after install,
+     * so a full set stays full: installLine skips the invalid-way scan
+     * entirely in steady state. Derived from tags_ (rebuilt in
+     * loadState), never checkpointed. */
+    std::vector<std::uint32_t> setFill_;
 
     // MSHR file + open-addressed line index + slot bitmasks.
     std::vector<Mshr> mshrs_;

@@ -30,6 +30,13 @@ using Addr = std::uint64_t;
 /** Core clock cycle count. All latencies are expressed in core cycles. */
 using Cycle = std::uint64_t;
 
+/**
+ * "No pending event" sentinel for the event-horizon main loop (see
+ * docs/performance.md): a component whose nextEventCycle() returns this
+ * has no internally scheduled work and only reacts to other components.
+ */
+constexpr Cycle kNoEventCycle = ~Cycle{0};
+
 /** Monotonically increasing instruction sequence number. */
 using InstrId = std::uint64_t;
 

@@ -23,6 +23,7 @@
  * forwarding.
  */
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
@@ -103,12 +104,15 @@ class OooCore final : public MemClient
 
     /** Advance one cycle: retire, issue loads, fetch/dispatch. Inline
      * so the per-cycle stage guards avoid four calls when a stage has
-     * nothing to do (stalled on an off-chip load, fetch squashed). */
-    void
+     * nothing to do (stalled on an off-chip load, fetch squashed).
+     * @return true iff at least one instruction retired this cycle
+     * (System::runMeasure re-checks completion only on such cycles). */
+    bool
     tick(Cycle now)
     {
         now_ = now;
         ++stats_.cycles;
+        const std::uint64_t retired_before = stats_.instrsRetired;
         if (!robEmpty())
             retire(now);
         if (!readyLoads_.empty())
@@ -117,6 +121,76 @@ class OooCore final : public MemClient
             dispatch(now);
         if (hermes_ != nullptr)
             hermes_->tick(now);
+        return stats_.instrsRetired != retired_before;
+    }
+
+    /**
+     * Event-horizon contract (docs/performance.md): a lower bound, in
+     * absolute cycles, on the next cycle at which ticking this core
+     * would do anything beyond the bookkeeping skipCycles() emulates.
+     * Externally triggered work — a load completion returning through
+     * returnData() — is covered by the cache/DRAM horizons, not this
+     * one. Never returns less than @p now + 1.
+     */
+    Cycle
+    nextEventCycle(Cycle now) const
+    {
+        const Cycle next = now + 1;
+        Cycle horizon = kNoEventCycle;
+        if (!robEmpty()) {
+            const RobEntry &head = rob_[headSeq_ & robMask_];
+            if (head.state == State::Done)
+                return next; // retires next cycle
+            if (head.instr.kind != InstrKind::Load &&
+                head.state == State::Ready) {
+                if (head.readyAt <= now)
+                    return next; // completes and retires next cycle
+                horizon = head.readyAt;
+            }
+            // WaitingDep / IssuedToMem / Ready-load heads advance only
+            // through load issue (below) or memory completions.
+        }
+        if (!readyLoads_.empty()) {
+            // Issue is strictly FIFO, so the front entry is the next
+            // event even though issueAt is not monotone across the
+            // ring (wake() can enqueue earlier deadlines behind it).
+            const Cycle at = rob_[readyLoads_.front() & robMask_].issueAt;
+            if (at <= now)
+                return next; // issue attempt (can bump L1 rqRejects)
+            horizon = std::min(horizon, at);
+        }
+        if (robFull())
+            return horizon; // unblocked by retire, covered above
+        if (next < fetchResumeAt_) {
+            // Front-end squashed: nothing to dispatch until the
+            // mispredicted branch's refill completes.
+            return std::min(horizon, fetchResumeAt_);
+        }
+        if (!hasPendingFetch_)
+            return next; // dispatch will fetch from the workload
+        const bool blocked =
+            (pendingFetch_.kind == InstrKind::Load &&
+             lqUsed_ >= params_.lqSize) ||
+            (pendingFetch_.kind == InstrKind::Store &&
+             sqUsed_ >= params_.sqSize);
+        if (!blocked)
+            return next; // dispatch will insert the pending instruction
+        return horizon;  // LQ/SQ drain via completions/retire, covered
+    }
+
+    /**
+     * Emulate @p cycles event-free ticks ending at absolute cycle
+     * @p now: exactly what tick() does on such cycles — advance the
+     * cycle counter and the core clock, and attribute blocked cycles
+     * to the (necessarily incomplete) ROB head.
+     */
+    void
+    skipCycles(Cycle now, std::uint64_t cycles)
+    {
+        now_ = now;
+        stats_.cycles += cycles;
+        if (!robEmpty())
+            rob_[headSeq_ & robMask_].blockedCycles += cycles;
     }
 
     // MemClient: load data returned by the L1.
@@ -156,13 +230,16 @@ class OooCore final : public MemClient
      */
     struct RobEntry
     {
-        TraceInstr instr;
+        // Layout: the fields retire()/dispatch()/issueLoads() touch
+        // every cycle sit together in the first 64 bytes (the ROB
+        // spans more than L1D, so lines touched per entry matter);
+        // load-return bookkeeping and the waiter links trail behind.
         InstrId seq = 0;
-        State state = State::Empty;
         Cycle readyAt = 0;     ///< Completion time for non-loads
         Cycle issueAt = 0;     ///< Earliest L1 issue (loads)
         std::uint64_t blockedCycles = 0;
-        PredMeta predMeta;
+        TraceInstr instr;
+        State state = State::Empty;
         bool wentOffChip = false;
         bool servedByHermes = false;
         Cycle l1Issue = 0;
@@ -170,6 +247,7 @@ class OooCore final : public MemClient
         InstrId firstWaiter = 0; ///< Head of this entry's waiter list
         InstrId lastWaiter = 0;  ///< Tail (for O(1) FIFO append)
         InstrId nextWaiter = 0;  ///< Link when *this* entry is waiting
+        PredMeta predMeta;
     };
 
     RobEntry &entry(InstrId seq);

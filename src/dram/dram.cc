@@ -52,9 +52,12 @@ DramController::addRead(const MemRequest &req)
 {
     Channel &ch = channels_[channelOf(req.line())];
 
-    // Read-after-write forwarding from the write queue.
-    for (const auto &w : ch.wq) {
-        if (w.line == req.line()) {
+    // Read-after-write forwarding from the write queue (the line set
+    // gates the scan so the common no-match case is O(1)).
+    if (ch.wqLines.find(req.line()) != ch.wqLines.end())
+        for (const auto &w : ch.wq) {
+            if (w.line != req.line())
+                continue;
             ++stats_.wqForwards;
             MemRequest resp = req;
             resp.servedFrom = MemLevel::Dram;
@@ -64,11 +67,14 @@ DramController::addRead(const MemRequest &req)
                 clients_[idx]->returnData(resp);
             return true;
         }
-    }
 
-    // Merge with an in-flight read (regular or Hermes) to the same line.
-    for (auto &e : ch.rq) {
-        if (e.line == req.line()) {
+    // Merge with an in-flight read (regular or Hermes) to the same
+    // line; rq holds at most one entry per line, so the line set
+    // decides in O(1) whether the locating scan is needed at all.
+    if (ch.rqLines.find(req.line()) != ch.rqLines.end())
+        for (auto &e : ch.rq) {
+            if (e.line != req.line())
+                continue;
             MemRequest w = req;
             w.cycleMcArrive = now_;
             if (e.hermesInitiated && e.hermesOnly)
@@ -78,7 +84,6 @@ DramController::addRead(const MemRequest &req)
             ++stats_.readMerges;
             return true;
         }
-    }
 
     if (ch.rq.size() >= params_.rqSize)
         return false;
@@ -92,8 +97,10 @@ DramController::addRead(const MemRequest &req)
     MemRequest w = req;
     w.cycleMcArrive = now_;
     e.waiters.push_back(w);
+    ch.rqLines.insert(e.line);
     ch.rq.push_back(std::move(e));
     ++ch.queuedReads;
+    ch.readSchedBlockedUntil = 0;
     return true;
 }
 
@@ -103,12 +110,11 @@ DramController::addHermes(const MemRequest &req)
     Channel &ch = channels_[channelOf(req.line())];
 
     // Already in flight (regular or another Hermes request): nothing to
-    // do, the data is on its way.
-    for (const auto &e : ch.rq) {
-        if (e.line == req.line()) {
-            ++stats_.hermesMergedIntoExisting;
-            return true;
-        }
+    // do, the data is on its way. Pure membership test — no entry needs
+    // touching, so the line set answers without any rq scan.
+    if (ch.rqLines.find(req.line()) != ch.rqLines.end()) {
+        ++stats_.hermesMergedIntoExisting;
+        return true;
     }
     if (ch.rq.size() >= params_.rqSize) {
         ++stats_.hermesRejected;
@@ -121,9 +127,11 @@ DramController::addHermes(const MemRequest &req)
     e.arrived = now_;
     e.hermesOnly = true;
     e.hermesInitiated = true;
+    ch.rqLines.insert(e.line);
     ch.rq.push_back(std::move(e));
     ++ch.queuedReads;
     ++stats_.hermesIssued;
+    ch.readSchedBlockedUntil = 0;
     return true;
 }
 
@@ -138,6 +146,7 @@ DramController::addWrite(const MemRequest &req)
     w.bank = bankOf(req.line());
     w.row = rowOf(req.line());
     w.arrived = req.cycleCreated;
+    ++ch.wqLines[w.line];
     ch.wq.push_back(w);
     ++ch.queuedWrites;
     return true;
@@ -187,6 +196,7 @@ DramController::scheduleReads(Channel &ch, Cycle now)
     // oldest request whose bank is ready. Stop scanning once every
     // still-Queued entry has been seen (the tail is all in-flight).
     ReadEntry *pick = nullptr;
+    Cycle earliest_bank = kNoEventCycle;
     unsigned queued_left = ch.queuedReads;
     for (auto &e : ch.rq) {
         if (queued_left == 0)
@@ -195,8 +205,10 @@ DramController::scheduleReads(Channel &ch, Cycle now)
             continue;
         --queued_left;
         const Bank &b = ch.banks[e.bank];
-        if (b.readyAt > now)
+        if (b.readyAt > now) {
+            earliest_bank = std::min(earliest_bank, b.readyAt);
             continue;
+        }
         if (b.open && b.row == e.row) {
             pick = &e;
             break;
@@ -204,8 +216,15 @@ DramController::scheduleReads(Channel &ch, Cycle now)
         if (pick == nullptr)
             pick = &e;
     }
-    if (pick == nullptr)
+    if (pick == nullptr) {
+        // Every queued entry's bank is busy; nothing can be picked
+        // before the earliest bank frees up, so skip the scan until
+        // then (bank readyAt values only ever move later, and a new
+        // arrival clears the bound).
+        ch.readSchedBlockedUntil = earliest_bank;
         return;
+    }
+    ch.readSchedBlockedUntil = 0;
     pick->state = State::Issued;
     pick->finishAt = access(ch, pick->bank, pick->row, now);
     --ch.queuedReads;
@@ -273,6 +292,7 @@ DramController::completeReads(Channel &ch, Cycle now)
             if (idx < clients_.size() && clients_[idx] != nullptr)
                 clients_[idx]->returnData(w);
         }
+        ch.rqLines.erase(it->line);
         it = ch.rq.erase(it);
     }
     ch.nextReadFinish = next_read;
@@ -286,6 +306,9 @@ DramController::completeReads(Channel &ch, Cycle now)
             ++stats_.writes;
             --w_issued_left;
             --ch.issuedWrites;
+            const auto lit = ch.wqLines.find(it->line);
+            if (lit != ch.wqLines.end() && --lit->second == 0)
+                ch.wqLines.erase(lit);
             it = ch.wq.erase(it);
         } else {
             if (it->state == State::Issued) {
@@ -335,22 +358,91 @@ DramController::tick(Cycle now)
             (ch.wq.size() <= params_.wqSize / 2 && !ch.rq.empty()))
             ch.drainingWrites = false;
 
-        // The FR-FCFS scan can only pick a Queued entry.
+        // The FR-FCFS scan can only pick a Queued entry — and, for
+        // reads, only once the earliest busy bank it last saw frees up.
         if (ch.drainingWrites) {
             if (ch.queuedWrites != 0)
                 scheduleWrites(ch, now);
-        } else if (ch.queuedReads != 0) {
+        } else if (ch.queuedReads != 0 &&
+                   now >= ch.readSchedBlockedUntil) {
             scheduleReads(ch, now);
         }
     }
+}
+
+Cycle
+DramController::nextEventCycle(Cycle now) const
+{
+    const Cycle next = now + 1;
+    Cycle horizon = kNoEventCycle;
+    for (const Channel &ch : channels_) {
+        if (ch.rq.empty() && ch.wq.empty())
+            continue;
+        if (ch.issuedReads != 0) {
+            if (ch.nextReadFinish <= now)
+                return next;
+            horizon = std::min(horizon, ch.nextReadFinish);
+        }
+        if (ch.issuedWrites != 0) {
+            if (ch.nextWriteFinish <= now)
+                return next;
+            horizon = std::min(horizon, ch.nextWriteFinish);
+        }
+        // Mirror the write-drain hysteresis the next tick will apply.
+        // Inside an event-free span the queue sizes cannot change, so
+        // the flag tick() recomputes is a pure function of today's
+        // sizes; applying the same set-then-clear rules here selects
+        // the side the scheduler will actually scan.
+        bool draining = ch.drainingWrites;
+        if (ch.wq.size() >= params_.wqSize * 7 / 8 ||
+            (ch.rq.empty() && !ch.wq.empty()))
+            draining = true;
+        if (ch.wq.empty() ||
+            (ch.wq.size() <= params_.wqSize / 2 && !ch.rq.empty()))
+            draining = false;
+        if (draining) {
+            unsigned left = ch.queuedWrites;
+            for (const WriteEntry &e : ch.wq) {
+                if (left == 0)
+                    break;
+                if (e.state != State::Queued)
+                    continue;
+                --left;
+                const Cycle at = ch.banks[e.bank].readyAt;
+                if (at <= now)
+                    return next;
+                horizon = std::min(horizon, at);
+            }
+        } else if (ch.queuedReads != 0) {
+            // The scheduler's cached bound is a valid lower bound on
+            // the next read issue (cleared on arrivals, and bank
+            // readyAt only moves later); reuse it to skip the walk.
+            if (ch.readSchedBlockedUntil > now) {
+                horizon = std::min(horizon, ch.readSchedBlockedUntil);
+                continue;
+            }
+            unsigned left = ch.queuedReads;
+            for (const ReadEntry &e : ch.rq) {
+                if (left == 0)
+                    break;
+                if (e.state != State::Queued)
+                    continue;
+                --left;
+                const Cycle at = ch.banks[e.bank].readyAt;
+                if (at <= now)
+                    return next;
+                horizon = std::min(horizon, at);
+            }
+        }
+    }
+    return horizon;
 }
 
 bool
 DramController::probeRead(Addr line) const
 {
     const Channel &ch = channels_[channelOf(line)];
-    return std::any_of(ch.rq.begin(), ch.rq.end(),
-                       [line](const auto &e) { return e.line == line; });
+    return ch.rqLines.find(line) != ch.rqLines.end();
 }
 
 void
@@ -451,6 +543,15 @@ DramController::loadState(StateReader &r)
         ch.issuedWrites = r.u32();
         ch.nextReadFinish = r.u64();
         ch.nextWriteFinish = r.u64();
+        // Derived lookup state: rebuild the line indexes and drop the
+        // scheduler's cached bound (it re-establishes on the next scan).
+        ch.rqLines.clear();
+        for (const ReadEntry &e : ch.rq)
+            ch.rqLines.insert(e.line);
+        ch.wqLines.clear();
+        for (const WriteEntry &e : ch.wq)
+            ++ch.wqLines[e.line];
+        ch.readSchedBlockedUntil = 0;
     }
     now_ = r.u64();
 }

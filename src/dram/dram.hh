@@ -17,6 +17,8 @@
 
 #include <cstdint>
 #include <deque>
+#include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "cache/mem_iface.hh"
@@ -98,6 +100,19 @@ class DramController final : public MemDevice
     void tick(Cycle now) override;
 
     /**
+     * Event-horizon contract (docs/performance.md): a lower bound on
+     * the next cycle at which tick() could complete or issue anything —
+     * the earliest in-flight finish time, or the earliest bank-ready
+     * time of a Queued entry on the side the write-drain hysteresis
+     * will select. Never less than @p now + 1.
+     */
+    Cycle nextEventCycle(Cycle now) const;
+
+    /** Emulate an event-free span ending at @p now: such ticks only
+     * advance the controller clock (used to stamp enqueues). */
+    void skipTo(Cycle now) { now_ = now; }
+
+    /**
      * Enqueue a speculative Hermes read (paper §6.2.1). Returns false if
      * the channel read queue is full, in which case the request is
      * simply not issued (accounted in stats).
@@ -167,6 +182,25 @@ class DramController final : public MemDevice
         unsigned issuedWrites = 0;
         Cycle nextReadFinish = 0;
         Cycle nextWriteFinish = 0;
+        /**
+         * When the FR-FCFS read scan last found every queued entry's
+         * bank busy, the earliest of those banks' readyAt cycles; the
+         * scan cannot pick anything before it. Cleared whenever a read
+         * arrives; bank readyAt values only ever move later, so the
+         * bound stays a valid lower bound in between. Derived state
+         * (not checkpointed, rebuilt lazily after loadState).
+         */
+        Cycle readSchedBlockedUntil = 0;
+        /**
+         * Lines of every entry in rq (reads merge by line, so entries
+         * are unique per line). O(1) duplicate/merge pre-check for
+         * addRead/addHermes/probeRead instead of an rq scan. Derived
+         * state, rebuilt on loadState.
+         */
+        std::unordered_set<Addr> rqLines;
+        /** Occupancy count per line in wq (writes to one line can
+         * coexist). Gates the read-after-write forwarding scan. */
+        std::unordered_map<Addr, unsigned> wqLines;
     };
 
     unsigned channelOf(Addr line) const;

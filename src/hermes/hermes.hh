@@ -18,6 +18,7 @@
  * used by the accuracy/coverage experiments (Fig. 9-11, 21).
  */
 
+#include <algorithm>
 #include <cstdint>
 #include <deque>
 #include <memory>
@@ -74,8 +75,24 @@ class HermesController
     void
     tick(Cycle now)
     {
-        if (!pending_.empty())
+        // pending_ is issueAt-ordered (fixed issue latency, monotone
+        // enqueue times), so the front gates the whole drain.
+        if (!pending_.empty() && pending_.front().issueAt <= now)
             drainPending(now);
+    }
+
+    /**
+     * Event-horizon contract (docs/performance.md): when the oldest
+     * pending Hermes request becomes due. Requests are appended with a
+     * monotone clock and drained FIFO, so the front deadline is the
+     * minimum. Never less than @p now + 1.
+     */
+    Cycle
+    nextEventCycle(Cycle now) const
+    {
+        if (pending_.empty())
+            return kNoEventCycle;
+        return std::max(pending_.front().issueAt, now + 1);
     }
 
     /** Train + account when the load returns to the core. */

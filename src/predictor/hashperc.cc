@@ -62,10 +62,24 @@ class HashPerc final : public OffChipPredictor
     bool
     predict(Addr pc, Addr vaddr, PredMeta &meta) override
     {
+        // Hot path: the four raw context slices are computed once in
+        // straight-line code; the probe loop then only salts + mixes,
+        // selecting its slice with h & 3 (h % 4 on an unsigned) —
+        // no per-probe switch dispatch.
+        const std::array<std::uint64_t, 4> raws = {
+            pc ^ (static_cast<std::uint64_t>(lineOffsetInPage(vaddr))
+                  << 1),
+            pc ^ (static_cast<std::uint64_t>(byteOffsetInLine(vaddr))
+                  << 1),
+            (lastLoadPcs_[0] << 3) ^ (lastLoadPcs_[1] << 2) ^
+                (lastLoadPcs_[2] << 1) ^ lastLoadPcs_[3],
+            (pc << 6) ^ lineAddr(vaddr),
+        };
         int sum = 0;
         meta = PredMeta{};
         for (unsigned h = 0; h < hashes_; ++h) {
-            const std::uint32_t idx = probeIndex(h, pc, vaddr);
+            const std::uint32_t idx =
+                mix32(raws[h & 3] + (h + 1) * 0x9E3779B9ull) & mask_;
             meta.index[meta.indexCount++] = idx;
             sum += weights_[idx];
         }
@@ -97,6 +111,10 @@ class HashPerc final : public OffChipPredictor
             return;
         const int wmax = (1 << (weightBits_ - 1)) - 1;
         const int wmin = -(1 << (weightBits_ - 1));
+        // Unlike POPET (disjoint per-feature tables), the k probes
+        // share one table and can collide; saturating updates to the
+        // same slot are order-dependent, so this loop must stay
+        // sequential.
         for (unsigned i = 0; i < meta.indexCount; ++i) {
             std::int8_t &w = weights_[meta.index[i]];
             if (went_off_chip)
@@ -139,33 +157,6 @@ class HashPerc final : public OffChipPredictor
     }
 
   private:
-    /** The h-th probe: a salted mix of one slice of program context. */
-    std::uint32_t
-    probeIndex(unsigned h, Addr pc, Addr vaddr) const
-    {
-        std::uint64_t raw = 0;
-        switch (h % 4) {
-          case 0:
-            raw = pc ^ (static_cast<std::uint64_t>(
-                            lineOffsetInPage(vaddr))
-                        << 1);
-            break;
-          case 1:
-            raw = pc ^ (static_cast<std::uint64_t>(
-                            byteOffsetInLine(vaddr))
-                        << 1);
-            break;
-          case 2:
-            raw = (lastLoadPcs_[0] << 3) ^ (lastLoadPcs_[1] << 2) ^
-                  (lastLoadPcs_[2] << 1) ^ lastLoadPcs_[3];
-            break;
-          case 3:
-            raw = (pc << 6) ^ lineAddr(vaddr);
-            break;
-        }
-        return mix32(raw + (h + 1) * 0x9E3779B9ull) & mask_;
-    }
-
     unsigned hashes_;
     unsigned weightBits_;
     int tauAct_;

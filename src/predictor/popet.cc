@@ -6,6 +6,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <map>
+#include <stdexcept>
 
 #include "sim/model_registry.hh"
 #include "sim/system.hh"
@@ -39,6 +40,19 @@ scaleThreshold(int threshold, unsigned active, unsigned total)
     return static_cast<int>(std::lround(scaled));
 }
 
+/** Running-sum base offset of each feature's table in the arena
+ * (kBases[kPopetFeatureCount] is the total arena size). */
+constexpr std::array<std::uint32_t, kPopetFeatureCount + 1>
+tableBases()
+{
+    std::array<std::uint32_t, kPopetFeatureCount + 1> bases{};
+    for (unsigned f = 0; f < kPopetFeatureCount; ++f)
+        bases[f + 1] = bases[f] + Popet::kTableSizes[f];
+    return bases;
+}
+
+constexpr auto kBases = tableBases();
+
 } // namespace
 
 Popet::Popet(PopetParams params)
@@ -47,8 +61,11 @@ Popet::Popet(PopetParams params)
       pageInvalidLeft_(params.pageBufferEntries)
 {
     assert(params_.weightBits >= 2 && params_.weightBits <= 8);
+    arena_.assign(kBases[kPopetFeatureCount], 0);
     for (unsigned f = 0; f < kPopetFeatureCount; ++f)
-        weights_[f].assign(kTableSizes[f], 0);
+        featActive_[f] = (params_.featureMask >> f) & 1u;
+    lruPrev_.assign(pageBuffer_.size(), kLruNil);
+    lruNext_.assign(pageBuffer_.size(), kLruNil);
     const unsigned active = activeFeatureCount();
     assert(active > 0 && "POPET needs at least one feature");
     tauActScaled_ = scaleThreshold(params_.activationThreshold, active,
@@ -69,6 +86,33 @@ Popet::activeFeatureCount() const
     return n;
 }
 
+void
+Popet::lruDetach(std::uint32_t slot)
+{
+    const std::uint32_t prev = lruPrev_[slot];
+    const std::uint32_t next = lruNext_[slot];
+    if (prev != kLruNil)
+        lruNext_[prev] = next;
+    else
+        lruHead_ = next;
+    if (next != kLruNil)
+        lruPrev_[next] = prev;
+    else
+        lruTail_ = prev;
+}
+
+void
+Popet::lruAppend(std::uint32_t slot)
+{
+    lruPrev_[slot] = lruTail_;
+    lruNext_[slot] = kLruNil;
+    if (lruTail_ != kLruNil)
+        lruNext_[lruTail_] = slot;
+    else
+        lruHead_ = slot;
+    lruTail_ = slot;
+}
+
 bool
 Popet::firstAccessHint(Addr vaddr)
 {
@@ -81,35 +125,33 @@ Popet::firstAccessHint(Addr vaddr)
     if (slot != AddrIndex::kNotFound) {
         PageBufferEntry &e = pageBuffer_[slot];
         e.lastUse = pageBufferClock_;
+        lruDetach(slot);
+        lruAppend(slot);
         const bool first = (e.bitmap & bit) == 0;
         e.bitmap |= bit;
         return first;
     }
 
     // Miss: fill invalid slots in ascending order first, else evict
-    // the least recently used entry (unique clock values, so the
-    // victim is unambiguous). The line has not been seen in the
-    // tracked window -> first access.
+    // the least recently used entry — the recency-list head, which is
+    // exactly the min-lastUse slot the old O(n) scan found (clock
+    // values are unique). The line has not been seen in the tracked
+    // window -> first access.
     std::uint32_t victim;
     if (pageInvalidLeft_ > 0) {
         victim = static_cast<std::uint32_t>(pageBuffer_.size()) -
                  pageInvalidLeft_;
         --pageInvalidLeft_;
     } else {
-        victim = 0;
-        std::uint64_t oldest = pageBuffer_[0].lastUse;
-        for (std::uint32_t i = 1; i < pageBuffer_.size(); ++i) {
-            if (pageBuffer_[i].lastUse < oldest) {
-                oldest = pageBuffer_[i].lastUse;
-                victim = i;
-            }
-        }
+        victim = lruHead_;
+        lruDetach(victim);
         pageIndex_.erase(pageBuffer_[victim].pageTag);
     }
     PageBufferEntry &e = pageBuffer_[victim];
     e.pageTag = page;
     e.bitmap = bit;
     e.lastUse = pageBufferClock_;
+    lruAppend(victim);
     pageIndex_.insert(page, victim);
     return true;
 }
@@ -152,17 +194,43 @@ Popet::predict(Addr pc, Addr vaddr, PredMeta &meta)
 {
     const bool first_access = firstAccessHint(vaddr);
 
+    // Hot path: all five raw feature values and hashed indices are
+    // computed up front in straight-line code (no per-feature
+    // dispatch), then the dot product gathers from the contiguous
+    // arena with the feature mask applied multiplicatively. Masked-out
+    // features contribute 0 to the sum and write 0 to the slot the
+    // next active feature overwrites, so the resulting PredMeta is
+    // byte-identical to the branching loop's (index[] beyond
+    // indexCount stays zero from the PredMeta{} reset).
+    const std::uint64_t line_off = lineOffsetInPage(vaddr);
+    const std::uint64_t byte_off = byteOffsetInLine(vaddr);
+    const std::uint64_t first = first_access ? 1 : 0;
+    const std::array<std::uint64_t, kPopetFeatureCount> raws = {
+        pc ^ (line_off << 1),
+        pc ^ (byte_off << 1) ^ 0xABCDull,
+        (pc << 1) | first,
+        (line_off << 1) | first,
+        (lastLoadPcs_[0] << 3) ^ (lastLoadPcs_[1] << 2) ^
+            (lastLoadPcs_[2] << 1) ^ lastLoadPcs_[3],
+    };
+    std::array<std::uint32_t, kPopetFeatureCount> idx;
+    for (unsigned f = 0; f < kPopetFeatureCount; ++f)
+        idx[f] = hashFeature(raws[f] + f * 0x9E3779B9ull) &
+                 (kTableSizes[f] - 1);
+
     int sum = 0;
     meta = PredMeta{};
+    unsigned cnt = 0;
     for (unsigned f = 0; f < kPopetFeatureCount; ++f) {
-        if (!(params_.featureMask & (1u << f)))
-            continue;
-        const std::uint32_t idx = featureIndex(f, pc, vaddr, first_access);
+        const std::int32_t active = featActive_[f];
+        sum += active * arena_[kBases[f] + idx[f]];
         // Pack the feature id with the index so training can address
         // the right table without recomputing hashes.
-        meta.index[meta.indexCount++] = (f << 16) | idx;
-        sum += weights_[f][idx];
+        meta.index[cnt] =
+            static_cast<std::uint32_t>(active) * ((f << 16) | idx[f]);
+        cnt += static_cast<unsigned>(active);
     }
+    meta.indexCount = static_cast<std::uint8_t>(cnt);
     meta.sum = static_cast<std::int16_t>(sum);
     meta.predictedOffChip = sum >= tauActScaled_;
     meta.valid = true;
@@ -194,8 +262,13 @@ struct PcDebug
 };
 PcDebug *pcDebug()
 {
+    // The environment lookup is hoisted out of the per-train path
+    // (this helper runs on every prediction outcome).
+    static const bool enabled = std::getenv("POPET_DEBUG") != nullptr;
+    if (!enabled)
+        return nullptr;
     static PcDebug d;
-    return std::getenv("POPET_DEBUG") ? &d : nullptr;
+    return &d;
 }
 } // namespace
 
@@ -220,23 +293,95 @@ Popet::train(Addr pc, Addr vaddr, const PredMeta &meta, bool went_off_chip)
     if (!within && !(params_.trainOnMispredict && mispredict))
         return;
 
+    // Distinct features address disjoint arena slices, so the updates
+    // are independent and the loop auto-vectorizes over the gathered
+    // slots (clamp expressed as min/max on both sides, which is
+    // equivalent for a +-1 step).
     const int wmax = (1 << (params_.weightBits - 1)) - 1;
     const int wmin = -(1 << (params_.weightBits - 1));
+    const int delta = went_off_chip ? 1 : -1;
     for (unsigned i = 0; i < meta.indexCount; ++i) {
         const unsigned f = meta.index[i] >> 16;
         const std::uint32_t idx = meta.index[i] & 0xFFFFu;
-        std::int8_t &w = weights_[f][idx];
-        if (went_off_chip)
-            w = static_cast<std::int8_t>(std::min<int>(w + 1, wmax));
-        else
-            w = static_cast<std::int8_t>(std::max<int>(w - 1, wmin));
+        std::int8_t &w = arena_[kBases[f] + idx];
+        w = static_cast<std::int8_t>(
+            std::min(std::max(w + delta, wmin), wmax));
     }
 }
 
 int
 Popet::weightAt(unsigned feature, std::uint32_t index) const
 {
-    return weights_.at(feature).at(index);
+    if (index >= kTableSizes.at(feature))
+        throw std::out_of_range("popet weight index out of range");
+    return arena_.at(kBases[feature] + index);
+}
+
+void
+Popet::saveState(StateWriter &w) const
+{
+    w.section("POPT");
+    for (unsigned f = 0; f < kPopetFeatureCount; ++f) {
+        w.u64(kTableSizes[f]);
+        for (std::uint32_t i = 0; i < kTableSizes[f]; ++i)
+            w.i8(arena_[kBases[f] + i]);
+    }
+    w.u64(pageBuffer_.size());
+    for (const PageBufferEntry &e : pageBuffer_) {
+        w.u64(e.pageTag);
+        w.u64(e.bitmap);
+        w.u64(e.lastUse);
+    }
+    w.u32(pageInvalidLeft_);
+    w.u64(pageBufferClock_);
+    for (Addr pc : lastLoadPcs_)
+        w.u64(pc);
+}
+
+void
+Popet::loadState(StateReader &r)
+{
+    r.section("POPT");
+    for (unsigned f = 0; f < kPopetFeatureCount; ++f) {
+        if (r.u64() != kTableSizes[f])
+            throw StateError("popet weight table size mismatch");
+        for (std::uint32_t i = 0; i < kTableSizes[f]; ++i)
+            arena_[kBases[f] + i] = r.i8();
+    }
+    if (r.u64() != pageBuffer_.size())
+        throw StateError("popet page buffer size mismatch");
+    for (PageBufferEntry &e : pageBuffer_) {
+        e.pageTag = r.u64();
+        e.bitmap = r.u64();
+        e.lastUse = r.u64();
+    }
+    pageInvalidLeft_ = r.u32();
+    pageBufferClock_ = r.u64();
+    for (Addr &pc : lastLoadPcs_)
+        pc = r.u64();
+    // Valid slots fill in ascending index order (see the
+    // pageInvalidLeft_ comment in the header), so the occupied prefix
+    // is exactly the content to rebuild the page index from; the
+    // recency list is rebuilt by linking those slots in lastUse order
+    // (unique strictly-increasing clock values).
+    pageIndex_.clear();
+    const std::size_t used =
+        pageBuffer_.size() - static_cast<std::size_t>(pageInvalidLeft_);
+    for (std::size_t i = 0; i < used; ++i)
+        pageIndex_.insert(pageBuffer_[i].pageTag,
+                          static_cast<std::uint32_t>(i));
+    lruHead_ = lruTail_ = kLruNil;
+    lruPrev_.assign(pageBuffer_.size(), kLruNil);
+    lruNext_.assign(pageBuffer_.size(), kLruNil);
+    std::vector<std::uint32_t> order(used);
+    for (std::size_t i = 0; i < used; ++i)
+        order[i] = static_cast<std::uint32_t>(i);
+    std::sort(order.begin(), order.end(),
+              [this](std::uint32_t a, std::uint32_t b) {
+                  return pageBuffer_[a].lastUse < pageBuffer_[b].lastUse;
+              });
+    for (std::uint32_t slot : order)
+        lruAppend(slot);
 }
 
 std::uint64_t

@@ -90,58 +90,11 @@ class Popet : public OffChipPredictor
 
     bool checkpointable() const override { return true; }
 
-    void
-    saveState(StateWriter &w) const override
-    {
-        w.section("POPT");
-        for (const auto &table : weights_) {
-            w.u64(table.size());
-            for (std::int8_t v : table)
-                w.i8(v);
-        }
-        w.u64(pageBuffer_.size());
-        for (const PageBufferEntry &e : pageBuffer_) {
-            w.u64(e.pageTag);
-            w.u64(e.bitmap);
-            w.u64(e.lastUse);
-        }
-        w.u32(pageInvalidLeft_);
-        w.u64(pageBufferClock_);
-        for (Addr pc : lastLoadPcs_)
-            w.u64(pc);
-    }
-
-    void
-    loadState(StateReader &r) override
-    {
-        r.section("POPT");
-        for (auto &table : weights_) {
-            if (r.u64() != table.size())
-                throw StateError("popet weight table size mismatch");
-            for (std::int8_t &v : table)
-                v = r.i8();
-        }
-        if (r.u64() != pageBuffer_.size())
-            throw StateError("popet page buffer size mismatch");
-        for (PageBufferEntry &e : pageBuffer_) {
-            e.pageTag = r.u64();
-            e.bitmap = r.u64();
-            e.lastUse = r.u64();
-        }
-        pageInvalidLeft_ = r.u32();
-        pageBufferClock_ = r.u64();
-        for (Addr &pc : lastLoadPcs_)
-            pc = r.u64();
-        // Valid slots fill in ascending index order (see the
-        // pageInvalidLeft_ comment below), so the occupied prefix is
-        // exactly the index content to rebuild.
-        pageIndex_.clear();
-        const std::size_t used =
-            pageBuffer_.size() - static_cast<std::size_t>(pageInvalidLeft_);
-        for (std::size_t i = 0; i < used; ++i)
-            pageIndex_.insert(pageBuffer_[i].pageTag,
-                              static_cast<std::uint32_t>(i));
-    }
+    /** Checkpoint format is per-table (size + weights) even though the
+     * weights live in one arena, so pre-arena checkpoints stay
+     * compatible byte for byte. */
+    void saveState(StateWriter &w) const override;
+    void loadState(StateReader &r) override;
 
   private:
     struct PageBufferEntry
@@ -163,14 +116,42 @@ class Popet : public OffChipPredictor
 
     unsigned activeFeatureCount() const;
 
+    /** Intrusive LRU list maintenance (head = least recently used). */
+    void lruDetach(std::uint32_t slot);
+    void lruAppend(std::uint32_t slot);
+
+    static constexpr std::uint32_t kLruNil = ~std::uint32_t{0};
+
     PopetParams params_;
     int tauActScaled_;
     int tnScaled_;
     int tpScaled_;
-    std::array<std::vector<std::int8_t>, kPopetFeatureCount> weights_;
+    /**
+     * All five weight tables in one contiguous arena (per-feature base
+     * offsets are the running sum of kTableSizes). Keeping the hot dot
+     * product inside one allocation lets predict() gather the five
+     * weights without chasing per-table vector headers; the checkpoint
+     * format still writes per-table slices (see saveState).
+     */
+    std::vector<std::int8_t> arena_;
+    /** 1 for enabled features, 0 for masked-out ones (multiplicative
+     * predication: the dot product has no per-feature branches). */
+    std::array<std::int32_t, kPopetFeatureCount> featActive_{};
     std::vector<PageBufferEntry> pageBuffer_;
     /** page tag -> pageBuffer_ slot; hits are O(1) instead of a scan. */
     AddrIndex pageIndex_;
+    /**
+     * Intrusive doubly-linked recency list over pageBuffer_ slots
+     * (head = LRU victim). lastUse clock values are strictly
+     * increasing and unique, so list order equals lastUse order and
+     * the head is exactly the entry the old O(n) min-scan selected;
+     * lastUse stays authoritative for the checkpoint format and the
+     * list is rebuilt from it on loadState.
+     */
+    std::vector<std::uint32_t> lruPrev_;
+    std::vector<std::uint32_t> lruNext_;
+    std::uint32_t lruHead_ = kLruNil;
+    std::uint32_t lruTail_ = kLruNil;
     /** Invalid slots left; they fill in ascending index order,
      * matching the scan-based allocation order they replace. */
     std::uint32_t pageInvalidLeft_;

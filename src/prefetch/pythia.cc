@@ -57,12 +57,18 @@ Pythia::selectAction(std::uint32_t phi1, std::uint32_t phi2)
 {
     if (rng_.chance(params_.epsilon))
         return static_cast<unsigned>(rng_.below(kActions.size()));
+    // Argmax over the raw per-action float sums: qValue only halves
+    // the sum (an exact, monotone scaling), so the winner — and the
+    // tie-breaking toward the lower action index — is unchanged while
+    // the rows are indexed once instead of per action.
+    const auto &r1 = table1_[phi1];
+    const auto &r2 = table2_[phi2];
     unsigned best = 0;
-    double best_q = qValue(phi1, phi2, 0);
+    float best_s = r1[0] + r2[0];
     for (unsigned a = 1; a < kActions.size(); ++a) {
-        const double q = qValue(phi1, phi2, a);
-        if (q > best_q) {
-            best_q = q;
+        const float s = r1[a] + r2[a];
+        if (s > best_s) {
+            best_s = s;
             best = a;
         }
     }
@@ -76,15 +82,44 @@ Pythia::assignReward(EqEntry &e, int reward)
         return;
     e.rewarded = true;
     // One-step bootstrap: the value of the greedy action in the most
-    // recent state stands in for the successor state's value.
+    // recent state stands in for the successor state's value. With the
+    // default gamma = 0 the term is identically zero, so the 16-action
+    // max is skipped entirely on that (hot) configuration.
     double bootstrap = 0.0;
-    if (havePrev_) {
+    if (havePrev_ && params_.gamma != 0.0) {
         double best = qValue(lastPhi1_, lastPhi2_, 0);
         for (unsigned a = 1; a < kActions.size(); ++a)
             best = std::max(best, qValue(lastPhi1_, lastPhi2_, a));
         bootstrap = params_.gamma * best;
     }
     updateQ(e.phi1, e.phi2, e.action, reward + bootstrap);
+}
+
+void
+Pythia::eqChainLink(EqEntry &e, std::uint64_t seq)
+{
+    e.nextSameLine = kNoSeq;
+    const auto [it, fresh] = eqByLine_.try_emplace(e.line, EqChain{seq, seq});
+    if (!fresh) {
+        eq_[it->second.tail - eqBaseSeq_].nextSameLine = seq;
+        it->second.tail = seq;
+    }
+}
+
+void
+Pythia::rewardLine(Addr line, int reward)
+{
+    const auto it = eqByLine_.find(line);
+    if (it == eqByLine_.end())
+        return;
+    // The chain head is the oldest unrewarded entry for this line —
+    // exactly the entry a front-to-back EQ scan would find.
+    EqEntry &e = eq_[it->second.head - eqBaseSeq_];
+    if (e.nextSameLine == kNoSeq)
+        eqByLine_.erase(it);
+    else
+        it->second.head = e.nextSameLine;
+    assignReward(e, reward);
 }
 
 void
@@ -97,9 +132,44 @@ Pythia::retireEqOverflow()
                                    ? params_.rewardNoPrefetch
                                    : params_.rewardInaccurate;
             assignReward(e, reward);
+            // Unrewarded entries are chain heads (they are the oldest
+            // EQ entry overall); unlink before the seq goes stale.
+            const auto it = eqByLine_.find(e.line);
+            if (e.nextSameLine == kNoSeq)
+                eqByLine_.erase(it);
+            else
+                it->second.head = e.nextSameLine;
         }
         eq_.pop_front();
+        ++eqBaseSeq_;
     }
+}
+
+void
+Pythia::pagesLruDetach(std::uint32_t slot)
+{
+    const std::uint32_t prev = pagesLruPrev_[slot];
+    const std::uint32_t next = pagesLruNext_[slot];
+    if (prev != kLruNil)
+        pagesLruNext_[prev] = next;
+    else
+        pagesLruHead_ = next;
+    if (next != kLruNil)
+        pagesLruPrev_[next] = prev;
+    else
+        pagesLruTail_ = prev;
+}
+
+void
+Pythia::pagesLruAppend(std::uint32_t slot)
+{
+    pagesLruPrev_[slot] = pagesLruTail_;
+    pagesLruNext_[slot] = kLruNil;
+    if (pagesLruTail_ != kLruNil)
+        pagesLruNext_[pagesLruTail_] = slot;
+    else
+        pagesLruHead_ = slot;
+    pagesLruTail_ = slot;
 }
 
 int
@@ -116,24 +186,21 @@ Pythia::pageLocalDelta(Addr line)
         const int delta = offset - p.lastOffset;
         p.lastOffset = offset;
         p.lastUse = pageClock_;
+        pagesLruDetach(slot);
+        pagesLruAppend(slot);
         return delta;
     }
 
     // Miss: fill invalid slots from the highest index down first, else
-    // evict the least recently used entry (unique clock values, first
-    // slot wins would-be ties), matching the scan this replaces.
+    // evict the recency-list head — the least recently used entry
+    // (unique clock values, so the O(n) min-lastUse scan this replaces
+    // had no ties and picked exactly this slot).
     std::uint32_t victim;
     if (pagesInvalidLeft_ > 0) {
         victim = --pagesInvalidLeft_;
     } else {
-        victim = 0;
-        std::uint64_t oldest = pages_[0].lastUse;
-        for (std::uint32_t i = 1; i < pages_.size(); ++i) {
-            if (pages_[i].lastUse < oldest) {
-                oldest = pages_[i].lastUse;
-                victim = i;
-            }
-        }
+        victim = pagesLruHead_;
+        pagesLruDetach(victim);
         pagesIndex_.erase(pages_[victim].page);
     }
     PageCtx &p = pages_[victim];
@@ -142,6 +209,7 @@ Pythia::pageLocalDelta(Addr line)
     p.lastOffset = offset;
     p.lastUse = pageClock_;
     pagesIndex_.insert(page, victim);
+    pagesLruAppend(victim);
     return 0;
 }
 
@@ -180,6 +248,7 @@ Pythia::onAccess(Addr addr, Addr pc, bool hit, std::vector<Addr> &out_lines)
             out_lines.push_back(e.line);
         }
     }
+    eqChainLink(e, eqBaseSeq_ + eq_.size());
     eq_.push_back(e);
     retireEqOverflow();
 
@@ -198,12 +267,7 @@ void
 Pythia::onPrefetchUseful(Addr line, Addr pc)
 {
     (void)pc;
-    for (auto &e : eq_) {
-        if (!e.rewarded && e.line == line) {
-            assignReward(e, params_.rewardAccurate);
-            return;
-        }
-    }
+    rewardLine(line, params_.rewardAccurate);
 }
 
 void
@@ -212,12 +276,7 @@ Pythia::onPrefetchLate(Addr line, Addr pc)
     (void)pc;
     // Accurate-but-late earns less than timely (R_AL < R_AT), steering
     // the policy toward longer prefetch distances.
-    for (auto &e : eq_) {
-        if (!e.rewarded && e.line == line) {
-            assignReward(e, params_.rewardAccurateLate);
-            return;
-        }
-    }
+    rewardLine(line, params_.rewardAccurateLate);
 }
 
 std::uint64_t

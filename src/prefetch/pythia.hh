@@ -20,9 +20,11 @@
  * Storage budget follows Table 6 (25.5KB).
  */
 
+#include <algorithm>
 #include <array>
 #include <cstdint>
 #include <deque>
+#include <unordered_map>
 #include <vector>
 
 #include "common/addr_index.hh"
@@ -124,6 +126,8 @@ class Pythia : public Prefetcher
             for (float &q : row)
                 q = r.f32();
         eq_.clear();
+        eqByLine_.clear();
+        eqBaseSeq_ = 0;
         const std::size_t nEq = r.count(1u << 20);
         for (std::size_t i = 0; i < nEq; ++i) {
             EqEntry e;
@@ -132,6 +136,10 @@ class Pythia : public Prefetcher
             e.phi2 = r.u32();
             e.action = r.u32();
             e.rewarded = r.b();
+            // The per-line chains are derived state (they thread the
+            // unrewarded entries only); rebuild them as we go.
+            if (!e.rewarded)
+                eqChainLink(e, eqBaseSeq_ + eq_.size());
             eq_.push_back(e);
         }
         for (PageCtx &p : pages_) {
@@ -142,11 +150,23 @@ class Pythia : public Prefetcher
         pagesInvalidLeft_ = r.u32();
         if (pagesInvalidLeft_ > kPageCtxEntries)
             throw StateError("pythia page context fill count out of range");
-        // The index is derived state: rebuild it over the valid slots,
-        // which fill from the highest index down (see pagesInvalidLeft_).
+        // The index and recency list are derived state: rebuild them
+        // over the valid slots, which fill from the highest index down
+        // (see pagesInvalidLeft_). Appending in ascending lastUse order
+        // reproduces the recency list the saved run had.
         pagesIndex_.clear();
-        for (unsigned i = pagesInvalidLeft_; i < kPageCtxEntries; ++i)
+        pagesLruHead_ = pagesLruTail_ = kLruNil;
+        std::vector<std::uint32_t> byAge;
+        for (unsigned i = pagesInvalidLeft_; i < kPageCtxEntries; ++i) {
             pagesIndex_.insert(pages_[i].page, i);
+            byAge.push_back(i);
+        }
+        std::sort(byAge.begin(), byAge.end(),
+                  [this](std::uint32_t a, std::uint32_t b) {
+                      return pages_[a].lastUse < pages_[b].lastUse;
+                  });
+        for (std::uint32_t slot : byAge)
+            pagesLruAppend(slot);
         pageClock_ = r.u64();
         lastLine_ = r.u64();
         for (std::uint8_t &o : lastOffsets_)
@@ -164,7 +184,19 @@ class Pythia : public Prefetcher
         std::uint32_t phi2 = 0;
         unsigned action = 0;
         bool rewarded = false;
+        /** Derived (not checkpointed): seq of the next unrewarded EQ
+         * entry with the same line, kNoSeq at the chain tail. */
+        std::uint64_t nextSameLine = kNoSeq;
     };
+
+    /** Head/tail seqs of one per-line chain of unrewarded entries. */
+    struct EqChain
+    {
+        std::uint64_t head;
+        std::uint64_t tail;
+    };
+
+    static constexpr std::uint64_t kNoSeq = ~std::uint64_t{0};
 
     double qValue(std::uint32_t phi1, std::uint32_t phi2,
                   unsigned action) const;
@@ -174,12 +206,27 @@ class Pythia : public Prefetcher
     void assignReward(EqEntry &e, int reward);
     void retireEqOverflow();
 
+    /** Append an entry (about to sit at `seq`) to its line's chain. */
+    void eqChainLink(EqEntry &e, std::uint64_t seq);
+    /** Reward the oldest unrewarded EQ entry for `line`, if any. */
+    void rewardLine(Addr line, int reward);
+
     PythiaParams params_;
     Rng rng_;
     /** QVStore: per-feature tables of Q-values, one row per action. */
     std::vector<std::array<float, 16>> table1_;
     std::vector<std::array<float, 16>> table2_;
     std::deque<EqEntry> eq_;
+    /** Seq number of eq_.front(); eq_[i] has seq eqBaseSeq_ + i. */
+    std::uint64_t eqBaseSeq_ = 0;
+    /**
+     * line -> chain of unrewarded EQ entries with that line, oldest
+     * first (threaded through EqEntry::nextSameLine). Entries leave a
+     * chain only at its head — rewards always hit the oldest match and
+     * overflow pops the globally oldest entry — so lookups are O(1)
+     * where onPrefetchUseful/Late used to scan the whole EQ.
+     */
+    std::unordered_map<Addr, EqChain> eqByLine_;
 
     struct PageCtx
     {
@@ -194,12 +241,29 @@ class Pythia : public Prefetcher
      * deltas (Pythia derives its delta feature from page context). */
     int pageLocalDelta(Addr line);
 
+    /** Intrusive recency list over pages_ (head = LRU victim). */
+    void pagesLruDetach(std::uint32_t slot);
+    void pagesLruAppend(std::uint32_t slot);
+
+    static constexpr std::uint32_t kLruNil = ~std::uint32_t{0};
+
     std::vector<PageCtx> pages_ = std::vector<PageCtx>(kPageCtxEntries);
     /** page -> pages_ slot; O(1) hit path for the per-access lookup. */
     AddrIndex pagesIndex_{kPageCtxEntries};
     /** Invalid slots left; they fill from the highest index down,
      * matching the scan-based allocation order they replace. */
     std::uint32_t pagesInvalidLeft_ = kPageCtxEntries;
+    /**
+     * Doubly-linked recency order over the valid pages_ slots. Clock
+     * values are unique and increasing, so the list head is exactly
+     * the min-lastUse entry the old O(n) victim scan selected; lastUse
+     * stays authoritative for the checkpoint format and the list is
+     * rebuilt from it on loadState.
+     */
+    std::array<std::uint32_t, kPageCtxEntries> pagesLruPrev_{};
+    std::array<std::uint32_t, kPageCtxEntries> pagesLruNext_{};
+    std::uint32_t pagesLruHead_ = kLruNil;
+    std::uint32_t pagesLruTail_ = kLruNil;
     std::uint64_t pageClock_ = 0;
     Addr lastLine_ = 0;
     std::array<std::uint8_t, 4> lastOffsets_{};

@@ -36,6 +36,34 @@ struct HostPerf
     }
 };
 
+/**
+ * Per-component host-time attribution for one run (System `--profile`
+ * mode, enabled by the HERMES_PROFILE environment variable). The cycle
+ * counters are maintained on every run (they are cheap and make the
+ * event-horizon skip ratio observable); the per-component seconds are
+ * only accumulated when profiling is enabled, because they cost two
+ * clock reads per pipeline stage per cycle. Like HostPerf, all of this
+ * describes the simulator, never the simulated machine, and is
+ * excluded from statsFingerprint().
+ */
+struct HostProfile
+{
+    /** HERMES_PROFILE was set when the System was built. */
+    bool enabled = false;
+    double dramSeconds = 0;
+    double llcSeconds = 0;
+    double l2Seconds = 0;
+    double l1Seconds = 0;
+    /** Cores, including the Hermes controllers they tick. */
+    double coreSeconds = 0;
+    /** nextEventHorizon() evaluation + fast-forward bookkeeping. */
+    double horizonSeconds = 0;
+    /** Cycles actually ticked (warmup + measurement). */
+    std::uint64_t tickedCycles = 0;
+    /** Idle cycles fast-forwarded by the event-horizon loop. */
+    std::uint64_t skippedCycles = 0;
+};
+
 /** Monotonic stopwatch used to fill HostPerf::seconds. */
 class Stopwatch
 {

@@ -1,7 +1,10 @@
 #include "sim/system.hh"
 
+#include <algorithm>
 #include <cassert>
+#include <chrono>
 #include <cmath>
+#include <cstdlib>
 #include <stdexcept>
 
 #include "sim/model_registry.hh"
@@ -253,22 +256,145 @@ System::System(const SystemConfig &config,
         l1_[i]->setUpper(i, cores_.back().get());
     }
     finishCycle_.assign(n, 0);
+
+    // Environment escape hatches (docs/performance.md): disable the
+    // event-horizon fast-forward (determinism cross-check) and enable
+    // per-component host-time attribution (bench --profile).
+    eventSkip_ = std::getenv("HERMES_NO_EVENT_SKIP") == nullptr;
+    profile_.enabled = std::getenv("HERMES_PROFILE") != nullptr;
 }
 
 System::~System() = default;
 
-void
+bool
 System::tick()
 {
+    if (profile_.enabled)
+        return tickProfiled();
     ++now_;
+    ++profile_.tickedCycles;
     dram_->tick(now_);
     llc_->tick(now_);
     for (auto &c : l2_)
         c->tick(now_);
     for (auto &c : l1_)
         c->tick(now_);
+    bool retired = false;
     for (auto &c : cores_)
+        retired |= c->tick(now_);
+    return retired;
+}
+
+bool
+System::tickProfiled()
+{
+    using clock = std::chrono::steady_clock;
+    auto seconds_since = [](clock::time_point t0, clock::time_point t1) {
+        return std::chrono::duration<double>(t1 - t0).count();
+    };
+    ++now_;
+    ++profile_.tickedCycles;
+    const auto t0 = clock::now();
+    dram_->tick(now_);
+    const auto t1 = clock::now();
+    profile_.dramSeconds += seconds_since(t0, t1);
+    llc_->tick(now_);
+    const auto t2 = clock::now();
+    profile_.llcSeconds += seconds_since(t1, t2);
+    for (auto &c : l2_)
         c->tick(now_);
+    const auto t3 = clock::now();
+    profile_.l2Seconds += seconds_since(t2, t3);
+    for (auto &c : l1_)
+        c->tick(now_);
+    const auto t4 = clock::now();
+    profile_.l1Seconds += seconds_since(t3, t4);
+    bool retired = false;
+    for (auto &c : cores_)
+        retired |= c->tick(now_);
+    profile_.coreSeconds += seconds_since(t4, clock::now());
+    return retired;
+}
+
+Cycle
+System::nextEventHorizon() const
+{
+    // Minimum over every component's lower bound. Each contract
+    // guarantees a result of at least now_ + 1, so once any component
+    // reports exactly that we can stop scanning: nothing can be lower.
+    const Cycle next = now_ + 1;
+    Cycle horizon = kNoEventCycle;
+    for (const auto &c : cores_) {
+        horizon = std::min(horizon, c->nextEventCycle(now_));
+        if (horizon <= next)
+            return next;
+    }
+    for (const auto &h : hermes_) {
+        horizon = std::min(horizon, h->nextEventCycle(now_));
+        if (horizon <= next)
+            return next;
+    }
+    for (const auto &c : l1_) {
+        horizon = std::min(horizon, c->nextEventCycle(now_));
+        if (horizon <= next)
+            return next;
+    }
+    for (const auto &c : l2_) {
+        horizon = std::min(horizon, c->nextEventCycle(now_));
+        if (horizon <= next)
+            return next;
+    }
+    horizon = std::min(horizon, llc_->nextEventCycle(now_));
+    if (horizon <= next)
+        return next;
+    horizon = std::min(horizon, dram_->nextEventCycle(now_));
+    return std::max(horizon, next);
+}
+
+void
+System::skipIdle(Cycle target)
+{
+    // Emulate what ticking the cycles in (now_, target] would have
+    // done: nothing happens in an event-free span except that every
+    // component clock advances (caches and DRAM stamp enqueues from
+    // their own clocks) and the cores account stall cycles.
+    const std::uint64_t skipped = target - now_;
+    now_ = target;
+    profile_.skippedCycles += skipped;
+    dram_->skipTo(now_);
+    llc_->skipTo(now_);
+    for (auto &c : l2_)
+        c->skipTo(now_);
+    for (auto &c : l1_)
+        c->skipTo(now_);
+    for (auto &c : cores_)
+        c->skipCycles(now_, skipped);
+}
+
+void
+System::doSkip(Cycle limit)
+{
+    if (profile_.enabled) {
+        using clock = std::chrono::steady_clock;
+        const auto t0 = clock::now();
+        const Cycle horizon = nextEventHorizon();
+        if (horizon > now_ + 1) {
+            // Stop one cycle short of the horizon (the event itself
+            // must be ticked) and never past the watchdog limit.
+            const Cycle target = std::min<Cycle>(horizon - 1, limit);
+            if (target > now_)
+                skipIdle(target);
+        }
+        profile_.horizonSeconds +=
+            std::chrono::duration<double>(clock::now() - t0).count();
+        return;
+    }
+    const Cycle horizon = nextEventHorizon();
+    if (horizon <= now_ + 1)
+        return;
+    const Cycle target = std::min<Cycle>(horizon - 1, limit);
+    if (target > now_)
+        skipIdle(target);
 }
 
 void
@@ -317,8 +443,17 @@ System::runWarmup(std::uint64_t warmup_instrs)
         return true;
     };
 
-    while (!all_reached(warmup_instrs) && now_ < max_cycles)
-        tick();
+    // all_reached() only changes when a core retires, and retirement is
+    // an event, so fast-forwarding between ticks never skips the
+    // completion check past the finish point.
+    while (!all_reached(warmup_instrs) && now_ < max_cycles) {
+        // Only probe the horizon after non-retiring ticks: a retiring
+        // core almost always has head-of-ROB work next cycle, so the
+        // probe would be wasted; skipping fewer idle spans is always
+        // behavior-identical (idle ticks are no-ops).
+        if (!tick())
+            maybeSkip(max_cycles);
+    }
 
     if (!config_.hermesWarmupIssue)
         for (int i = 0; i < n; ++i)
@@ -341,18 +476,31 @@ System::runMeasure(std::uint64_t sim_instrs)
     const std::uint64_t max_cycles = sim_instrs * 400 + 1'000'000;
     const Stopwatch watch;
 
+    // The completion scan only needs to run after cycles where some
+    // core retired: instrsRetired() is constant otherwise, and
+    // finishCycle_ records the cycle the quota was *reached*, which is
+    // by definition a retiring cycle. The initial recheck covers the
+    // sim_instrs == 0 edge (quota met before the first tick).
     bool done = false;
+    bool recheck = true;
     while (!done && now_ < measureStart_ + max_cycles) {
-        tick();
-        done = true;
-        for (int i = 0; i < n; ++i) {
-            if (cores_[i]->instrsRetired() >= sim_instrs) {
-                if (finishCycle_[i] == 0)
-                    finishCycle_[i] = now_ - measureStart_;
-            } else {
-                done = false;
+        const bool retired = tick();
+        if (retired || recheck) {
+            recheck = false;
+            done = true;
+            for (int i = 0; i < n; ++i) {
+                if (cores_[i]->instrsRetired() >= sim_instrs) {
+                    if (finishCycle_[i] == 0)
+                        finishCycle_[i] = now_ - measureStart_;
+                } else {
+                    done = false;
+                }
             }
         }
+        // Horizon probes only pay off after non-retiring ticks (see
+        // runWarmup); a retiring core has head-of-ROB work next cycle.
+        if (!done && !retired)
+            maybeSkip(measureStart_ + max_cycles);
     }
 
     RunStats stats = collect();
@@ -484,6 +632,9 @@ System::collect() const
     s.dramBusCyclesPerLine = config_.dram.busCyclesPerLine();
     if (prefetcher_ != nullptr)
         s.prefetch = prefetcher_->stats();
+    // Accumulated across warmup + measurement (host-side only, so the
+    // warmup share is informative rather than misleading).
+    s.profile = profile_;
     return s;
 }
 

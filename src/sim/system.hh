@@ -159,6 +159,9 @@ struct RunStats
     std::uint64_t dramBusCyclesPerLine = 0;
     /** Simulator throughput (host-side; excluded from fingerprints). */
     HostPerf hostPerf;
+    /** Per-component host-time attribution and ticked/skipped cycle
+     * counters (host-side; excluded from fingerprints). */
+    HostProfile profile;
 
     /** Instructions retired across all cores (measurement window). */
     std::uint64_t instrsRetired() const;
@@ -223,9 +226,31 @@ class System
     void saveState(StateWriter &w) const;
     void loadState(StateReader &r);
 
-    /** Single-stepping access for fine-grained tests. */
-    void tick();
+    /**
+     * Single-stepping access for fine-grained tests.
+     * @return true iff any core retired at least one instruction
+     * (run{Warmup,Measure} re-check completion only on such cycles).
+     */
+    bool tick();
     Cycle now() const { return now_; }
+
+    /**
+     * The event-horizon of the whole machine: the minimum of every
+     * component's nextEventCycle() (docs/performance.md). Cycles in
+     * (now(), horizon) are provably event-free — ticking them would
+     * only perform the bookkeeping skipIdle() emulates — so the run
+     * loops fast-forward across them. Always at least now() + 1.
+     */
+    Cycle nextEventHorizon() const;
+
+    /**
+     * Enable/disable the event-horizon fast-forward (defaults to on;
+     * the HERMES_NO_EVENT_SKIP environment variable disables it at
+     * construction — the escape hatch the determinism tests use to
+     * prove the two loops produce identical statistics).
+     */
+    void setEventSkip(bool enabled) { eventSkip_ = enabled; }
+    bool eventSkip() const { return eventSkip_; }
 
     OooCore &coreAt(int i) { return *cores_[i]; }
     Cache &l1At(int i) { return *l1_[i]; }
@@ -243,6 +268,20 @@ class System
   private:
     void clearAllStats();
     RunStats collect() const;
+    /** tick() with per-stage host-time attribution (HERMES_PROFILE). */
+    bool tickProfiled();
+    /** Advance every component clock to @p target, emulating the
+     * bookkeeping the skipped idle ticks would have performed. */
+    void skipIdle(Cycle target);
+    /** Fast-forward to just before the next event, clamped to
+     * @p limit (the run loop's watchdog bound). */
+    void doSkip(Cycle limit);
+    void
+    maybeSkip(Cycle limit)
+    {
+        if (eventSkip_)
+            doSkip(limit);
+    }
 
     SystemConfig config_;
     std::vector<std::unique_ptr<Workload>> workloads_;
@@ -262,6 +301,11 @@ class System
      * zero after a checkpoint restore, which is the point). */
     std::uint64_t warmupExecuted_ = 0;
     double warmupSeconds_ = 0.0;
+    /** Event-horizon fast-forward enabled (HERMES_NO_EVENT_SKIP=1
+     * disables it; statistics are identical either way). */
+    bool eventSkip_ = true;
+    /** Host-side tick/skip accounting (HostProfile in RunStats). */
+    HostProfile profile_;
 };
 
 } // namespace hermes

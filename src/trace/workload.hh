@@ -43,11 +43,13 @@ enum class InstrKind : std::uint8_t
  */
 struct TraceInstr
 {
+    // Field order packs the record into 24 bytes (wide members first);
+    // the ROB embeds one per entry, so its size is hot-path real estate.
     Addr pc = 0;
-    InstrKind kind = InstrKind::Alu;
     Addr vaddr = 0;            ///< Byte address for Load/Store
-    bool branchTaken = false;  ///< Outcome for Branch
     std::uint32_t depDistance = 0;
+    InstrKind kind = InstrKind::Alu;
+    bool branchTaken = false;  ///< Outcome for Branch
 };
 
 /**
